@@ -1,0 +1,24 @@
+"""Benchmark E8 -- ablation of the two mechanisms (WaP only / WaW only / both)."""
+
+from __future__ import annotations
+
+from repro.experiments import ablation_mechanisms
+
+
+def bench_ablation_8x8(benchmark):
+    """WCTT decomposition on the evaluated 8x8 memory-traffic scenario."""
+    rows = benchmark.pedantic(ablation_mechanisms.run, rounds=1, iterations=1)
+    by_variant = {r.variant: r for r in rows}
+    regular = next(v for k, v in by_variant.items() if k.startswith("regular (L=4, merging"))
+    wap_only = next(v for k, v in by_variant.items() if k.startswith("WaP only"))
+    waw_only = next(v for k, v in by_variant.items() if k.startswith("WaW only"))
+    combined = next(v for k, v in by_variant.items() if k.startswith("WaW + WaP"))
+
+    assert wap_only.maximum < regular.maximum
+    assert waw_only.maximum < regular.maximum
+    assert combined.maximum <= min(wap_only.maximum, waw_only.maximum)
+
+    benchmark.extra_info["regular_max"] = regular.maximum
+    benchmark.extra_info["combined_max"] = combined.maximum
+    print()
+    print(ablation_mechanisms.report(rows))

@@ -1,0 +1,23 @@
+"""Benchmark E7 -- router area overhead of WaW+WaP (< 5 % claim)."""
+
+from __future__ import annotations
+
+from repro.core.config import waw_wap_config
+from repro.core.area import waw_wap_overhead
+from repro.experiments import area_overhead
+
+
+def bench_area_overhead_model(benchmark):
+    """Evaluate the parametric area model for the evaluated system + sweeps."""
+    points = benchmark(area_overhead.run)
+    evaluated = points[0]
+    assert 0.0 < evaluated.overhead_percent < 5.0
+    benchmark.extra_info["overhead_percent"] = round(evaluated.overhead_percent, 2)
+    print()
+    print(area_overhead.report(points))
+
+
+def bench_area_overhead_whole_noc(benchmark):
+    """Whole-NoC overhead figure used in the paper's text."""
+    overhead = benchmark(lambda: waw_wap_overhead(waw_wap_config(8)))
+    assert overhead < 0.05

@@ -1,0 +1,38 @@
+"""Benchmark E4 -- regenerate paper Figure 2(a) (3DPP WCET vs max packet size)."""
+
+from __future__ import annotations
+
+from repro.experiments import fig2a_packet_size
+
+
+def bench_fig2a_packet_size_series(benchmark, paper_3dpp_workload):
+    """WCET of the 16-core path planner for L1/L4/L8 on both designs."""
+
+    def run():
+        return fig2a_packet_size.run(workload=paper_3dpp_workload, packet_sizes=(1, 4, 8))
+
+    points = benchmark.pedantic(run, rounds=1, iterations=1)
+    by_label = {p.label: p for p in points}
+
+    # Headline claims: the proposal wins for every packet size, its estimate
+    # is independent of L, and the gap widens as L grows.
+    assert all(p.improvement > 1.0 for p in points)
+    assert by_label["L1"].waw_wap_wcet == by_label["L8"].waw_wap_wcet
+    assert by_label["L8"].improvement > by_label["L4"].improvement
+    assert by_label["L8"].regular_wcet > by_label["L4"].regular_wcet
+
+    for point in points:
+        benchmark.extra_info[f"improvement_{point.label}"] = round(point.improvement, 2)
+    print()
+    print(fig2a_packet_size.report(points))
+
+
+def bench_fig2a_planner_generation(benchmark):
+    """Cost of generating the 3DPP workload itself (planning + traffic model)."""
+    from repro.workloads.pathplanning import PathPlanningConfig, plan_path
+
+    result = benchmark.pedantic(
+        lambda: plan_path(PathPlanningConfig()), rounds=1, iterations=1
+    )
+    assert result.reached
+    assert result.workload.total_loads > 0

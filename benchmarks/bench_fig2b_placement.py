@@ -1,0 +1,49 @@
+"""Benchmark E5 -- regenerate paper Figure 2(b) (3DPP WCET vs task placement)."""
+
+from __future__ import annotations
+
+from repro.experiments import fig2b_placement
+
+
+def bench_fig2b_placement_series(benchmark, paper_3dpp_workload):
+    """WCET of the path planner under the four standard placements (L1 setup)."""
+
+    def run():
+        return fig2b_placement.run(workload=paper_3dpp_workload)
+
+    points = benchmark.pedantic(run, rounds=1, iterations=1)
+    spread = fig2b_placement.variability(points)
+
+    # Headline claims: the proposal wins for every placement; placement is a
+    # first-order factor for the regular design and a second-order one for
+    # WaW+WaP.
+    assert all(p.improvement > 1.0 for p in points)
+    assert spread["regular wNoC max/min across placements"] > 6.0
+    assert spread["WaW+WaP max/min across placements"] < 1.5
+
+    benchmark.extra_info["regular_spread"] = round(
+        spread["regular wNoC max/min across placements"], 1
+    )
+    benchmark.extra_info["waw_wap_spread"] = round(
+        spread["WaW+WaP max/min across placements"], 3
+    )
+    print()
+    print(fig2b_placement.report(points))
+
+
+def bench_fig2b_single_placement_wcet(benchmark, fast_3dpp_workload):
+    """Cost of one parallel WCET evaluation (one bar of the figure)."""
+    from repro.core.config import waw_wap_config
+    from repro.core.ubd import UBDTable
+    from repro.geometry import Mesh
+    from repro.manycore.placement import standard_placements
+    from repro.manycore.wcet_mode import wcet_of_parallel_workload
+
+    config = waw_wap_config(8, max_packet_flits=1)
+    table = UBDTable(config)
+    placement = standard_placements(Mesh(8, 8))["P0"]
+
+    result = benchmark(
+        lambda: wcet_of_parallel_workload(fast_3dpp_workload, placement, table)
+    )
+    assert result.total > 0

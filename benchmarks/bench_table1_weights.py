@@ -1,0 +1,37 @@
+"""Benchmark E1 -- regenerate paper Table I (WaW weights of R(1,1) in a 2x2 mesh)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import table1_weights
+from repro.geometry import Coord, Mesh
+
+
+def bench_table1_paper_example(benchmark):
+    """Table I: weighted vs round-robin bandwidth shares at router R(1,1)."""
+    rows = benchmark(table1_weights.run)
+    shares = {(r.in_port, r.out_port): r for r in rows}
+    assert shares[("X+", "PME")].waw == pytest.approx(1 / 3)
+    assert shares[("Y+", "PME")].waw == pytest.approx(2 / 3)
+    assert shares[("X+", "PME")].round_robin == pytest.approx(0.5)
+    benchmark.extra_info["rows"] = len(rows)
+
+
+def bench_table1_full_chip_weight_tables(benchmark):
+    """Weight-table construction for every router of the evaluated 8x8 chip."""
+    from repro.core.flows import FlowSet
+    from repro.core.weights import WeightTable
+
+    mesh = Mesh(8, 8)
+
+    def build():
+        table = WeightTable.from_flow_set(FlowSet.all_to_one(mesh, Coord(0, 0)))
+        return sum(
+            table.output_round_flits(router, port)
+            for router in mesh.nodes()
+            for port in mesh.output_ports(router)
+        )
+
+    total = benchmark(build)
+    assert total > 0

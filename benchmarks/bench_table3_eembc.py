@@ -1,0 +1,44 @@
+"""Benchmark E3 -- regenerate paper Table III (normalized per-core WCET of EEMBC)."""
+
+from __future__ import annotations
+
+from repro.experiments import table3_eembc
+from repro.geometry import Coord
+
+
+def bench_table3_full_8x8(benchmark):
+    """The full 8x8 grid over the sixteen Autobench-like benchmarks."""
+    result = benchmark.pedantic(table3_eembc.run, rounds=1, iterations=1)
+
+    # Headline claims of the paper:
+    # (1) only a handful of nodes next to the memory controller get worse ...
+    worse = result.cores_worse_than_regular()
+    assert 0 < len(worse) <= 16
+    assert all(core.manhattan(Coord(0, 0)) <= 4 for core in worse)
+    # (2) ... and only moderately so (the paper reports up to ~1.5x);
+    assert result.worst_slowdown() < 2.5
+    # (3) the far corner improves by 3-4 orders of magnitude.
+    assert result.normalized[Coord(7, 7)] < 1e-2
+
+    benchmark.extra_info["cores_worse"] = len(worse)
+    benchmark.extra_info["worst_slowdown"] = round(result.worst_slowdown(), 3)
+    benchmark.extra_info["best_improvement"] = result.best_improvement()
+    print()
+    print(table3_eembc.report(result))
+
+
+def bench_table3_single_benchmark_sensitivity(benchmark):
+    """Per-benchmark sensitivity: the memory-bound kernels move the most."""
+    from repro.workloads.eembc import autobench_profile
+
+    def run():
+        return table3_eembc.run(
+            mesh_size=8, benchmarks=[autobench_profile("cacheb"), autobench_profile("a2time")]
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    far = Coord(7, 7)
+    cacheb = result.per_benchmark["cacheb"][far]
+    a2time = result.per_benchmark["a2time"][far]
+    # The memory-bound kernel benefits more from the proposal at far nodes.
+    assert cacheb <= a2time

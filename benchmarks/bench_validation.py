@@ -1,0 +1,40 @@
+"""Benchmark E9 -- analytical WCTT bounds vs adversarial cycle-accurate runs."""
+
+from __future__ import annotations
+
+from repro.experiments import bound_validation
+
+
+def bench_bound_validation(benchmark):
+    """Safety check of both designs' bounds on 3x3 and 4x4 meshes."""
+
+    def run():
+        return bound_validation.run(mesh_sizes=(3, 4), congestion_cycles=1_000)
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert rows and all(r.safe for r in rows)
+    waw_rows = [r for r in rows if r.design == "WaW+WaP"]
+    benchmark.extra_info["flows_validated"] = len(rows)
+    benchmark.extra_info["waw_wap_worst_tightness"] = round(
+        max(r.tightness for r in waw_rows), 3
+    )
+    print()
+    print(bound_validation.report(rows))
+
+
+def bench_adversarial_simulation_only(benchmark):
+    """Raw cost of one adversarial congestion run (4x4, far victim flow)."""
+    from repro.analysis.validation import validate_flow_bound
+    from repro.core.config import waw_wap_config
+    from repro.geometry import Coord
+
+    def run():
+        return validate_flow_bound(
+            waw_wap_config(4, max_packet_flits=1),
+            Coord(3, 3),
+            Coord(0, 0),
+            congestion_cycles=800,
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.is_safe

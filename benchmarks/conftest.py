@@ -1,0 +1,35 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper (see DESIGN.md
+for the experiment index).  The benchmarks both *measure* the runtime of the
+reproduction pipeline and *assert* the headline qualitative claims, so that
+``pytest benchmarks/ --benchmark-only`` doubles as an end-to-end regeneration
+of the paper's evaluation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.manycore.cache import CacheConfig
+from repro.workloads.pathplanning import PathPlanningConfig, plan_path
+
+
+@pytest.fixture(scope="session")
+def paper_3dpp_workload():
+    """The 3DPP workload used by the Figure 2 benchmarks (planned once)."""
+    return plan_path(PathPlanningConfig()).workload
+
+
+@pytest.fixture(scope="session")
+def fast_3dpp_workload():
+    """A reduced 3DPP instance for benchmarks that sweep many design points."""
+    config = PathPlanningConfig(
+        dimensions=(16, 16, 6),
+        num_threads=16,
+        cycles_per_cell_update=400,
+        cycles_per_neighbour_check=100,
+        cache=CacheConfig(size_bytes=8 * 1024),
+        sweeps_per_phase=3,
+    )
+    return plan_path(config).workload

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Avionics case study: WCET of a 16-core 3D path planner (paper Figure 2).
+
+This example mirrors the paper's industrial use case: a parallel 3D path
+planning application (re-implemented in :mod:`repro.workloads.pathplanning`)
+runs on 16 cores of a 64-core manycore whose single memory controller sits at
+the corner of the mesh.  The script
+
+1. plans an actual path through a 3D obstacle map and extracts the per-phase,
+   per-thread work of the parallel run;
+2. prices that work under the WCET-computation mode for both NoC design
+   points, for three maximum packet sizes (Figure 2(a));
+3. repeats the exercise across four task placements (Figure 2(b)) and shows
+   why placement stops mattering once WaW+WaP is enabled.
+
+Run it with::
+
+    python examples/avionics_path_planning.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import format_key_values, format_table, format_title
+from repro.experiments import fig2a_packet_size, fig2b_placement
+from repro.workloads.pathplanning import PathPlanningConfig, plan_path
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. Run the planner itself (this is a real path-planning computation).
+    # ------------------------------------------------------------------
+    config = PathPlanningConfig()
+    result = plan_path(config)
+    print(format_title("3D path planning run"))
+    print(
+        format_key_values(
+            {
+                "grid": "x".join(str(d) for d in config.dimensions),
+                "goal reached": result.reached,
+                "path length (cells)": result.path_length,
+                "wavefront sweeps": result.sweeps,
+                "parallel phases": len(result.workload.phases),
+                "NoC load round trips": result.workload.total_loads,
+                "compute cycles (all threads)": result.workload.total_compute_cycles,
+            }
+        )
+    )
+    print()
+
+    # ------------------------------------------------------------------
+    # 2. Figure 2(a): sensitivity to the maximum packet size.
+    # ------------------------------------------------------------------
+    points = fig2a_packet_size.run(workload=result.workload, packet_sizes=(1, 4, 8))
+    print(format_title("WCET estimates vs maximum packet size (placement P0)"))
+    print(format_table([p.as_dict() for p in points]))
+    print()
+
+    # ------------------------------------------------------------------
+    # 3. Figure 2(b): sensitivity to the placement of the 16 threads.
+    # ------------------------------------------------------------------
+    placement_points = fig2b_placement.run(workload=result.workload)
+    print(format_title("WCET estimates vs task placement (1-flit maximum packets)"))
+    print(format_table([p.as_dict() for p in placement_points]))
+    print()
+    print(format_key_values(fig2b_placement.variability(placement_points)))
+    print()
+    print(
+        "With the regular wNoC the system integrator must fight for the placement\n"
+        "next to the memory controller; with WaW+WaP any placement gives nearly the\n"
+        "same guaranteed performance, which is what makes incremental integration\n"
+        "of avionics functions practical."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+"""Reproduction of *Improving Performance Guarantees in Wormhole Mesh NoC
+Designs* (Panic et al., DATE 2016).
+
+The package is organised in five layers:
+
+* :mod:`repro.geometry` / :mod:`repro.routing` -- mesh coordinates, ports and
+  XY routing, shared by everything else;
+* :mod:`repro.core` -- the paper's contribution: WaP packetization, WaW
+  weighted arbitration, the time-composable WCTT analyses, per-core upper
+  bound delays and the router area model;
+* :mod:`repro.noc` -- a cycle-accurate flit-level wormhole mesh simulator
+  (the reproduction's substitute for SoCLib + gNoCSim);
+* :mod:`repro.manycore` / :mod:`repro.workloads` -- the evaluated platform
+  (cores, caches, memory controller, placements) and its workloads
+  (EEMBC-like profiles, the 3D path-planning avionics application, synthetic
+  traffic);
+* :mod:`repro.experiments` -- one driver per table/figure of the paper.
+
+Quick start::
+
+    from repro import regular_mesh_config, waw_wap_config, make_wctt_analysis
+    from repro.geometry import Coord
+
+    regular = make_wctt_analysis(regular_mesh_config(8, max_packet_flits=4))
+    print(regular.wctt_packet(Coord(7, 7), Coord(0, 0), packet_flits=1))
+
+See README.md for installation and the full tour, DESIGN.md for the system
+inventory and EXPERIMENTS.md for the paper-vs-measured comparison.
+"""
+
+from .geometry import Coord, Mesh, Port
+from .routing import Hop, xy_output_port, xy_route
+from .core import (
+    ArbitrationPolicy,
+    Flow,
+    FlowSet,
+    MessageConfig,
+    MemoryTiming,
+    NoCConfig,
+    PacketizationPolicy,
+    RegularMeshWCTTAnalysis,
+    RouterTiming,
+    UBDTable,
+    WaWWaPWCTTAnalysis,
+    WeightTable,
+    make_wctt_analysis,
+    regular_mesh_config,
+    waw_wap_config,
+    wctt_map,
+    wctt_summary,
+)
+from .noc import Network
+from .manycore import ManycoreSystem, Placement, standard_placements
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Coord",
+    "Mesh",
+    "Port",
+    "Hop",
+    "xy_output_port",
+    "xy_route",
+    "ArbitrationPolicy",
+    "Flow",
+    "FlowSet",
+    "MessageConfig",
+    "MemoryTiming",
+    "NoCConfig",
+    "PacketizationPolicy",
+    "RegularMeshWCTTAnalysis",
+    "RouterTiming",
+    "UBDTable",
+    "WaWWaPWCTTAnalysis",
+    "WeightTable",
+    "make_wctt_analysis",
+    "regular_mesh_config",
+    "waw_wap_config",
+    "wctt_map",
+    "wctt_summary",
+    "Network",
+    "ManycoreSystem",
+    "Placement",
+    "standard_placements",
+    "__version__",
+]

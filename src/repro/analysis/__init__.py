@@ -1,0 +1,14 @@
+"""Analysis utilities: bound validation and report formatting."""
+
+from .reporting import format_grid, format_key_values, format_table, format_title
+from .validation import BoundValidationResult, validate_design, validate_flow_bound
+
+__all__ = [
+    "format_grid",
+    "format_key_values",
+    "format_table",
+    "format_title",
+    "BoundValidationResult",
+    "validate_design",
+    "validate_flow_bound",
+]

@@ -1,0 +1,96 @@
+"""Plain-text report formatting for experiment results.
+
+All experiment drivers produce structured Python data (lists of dicts or
+small dataclasses) and use these helpers to render the paper-style tables on
+stdout.  Keeping formatting separate from computation lets tests assert on
+the structured results and keeps the drivers short.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Union
+
+__all__ = ["format_table", "format_grid", "format_title", "format_key_values"]
+
+Value = Union[str, int, float]
+
+
+def _fmt(value: Value, float_digits: int = 2) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        if value != 0 and (abs(value) >= 1e6 or abs(value) < 1e-3):
+            return f"{value:.3e}"
+        return f"{value:.{float_digits}f}"
+    return str(value)
+
+
+def format_title(title: str, *, underline: str = "=") -> str:
+    """A section title with an underline of the same length."""
+    return f"{title}\n{underline * len(title)}"
+
+
+def format_table(
+    rows: Sequence[Mapping[str, Value]],
+    *,
+    columns: Optional[Sequence[str]] = None,
+    float_digits: int = 2,
+) -> str:
+    """Render a list of homogeneous dicts as an aligned text table."""
+    if not rows:
+        return "(no rows)"
+    cols = list(columns) if columns is not None else list(rows[0].keys())
+    rendered: List[List[str]] = [[_fmt(row.get(c, ""), float_digits) for c in cols] for row in rows]
+    widths = [
+        max(len(col), *(len(r[i]) for r in rendered)) for i, col in enumerate(cols)
+    ]
+    header = "  ".join(col.ljust(widths[i]) for i, col in enumerate(cols))
+    separator = "  ".join("-" * widths[i] for i in range(len(cols)))
+    body = "\n".join(
+        "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)) for row in rendered
+    )
+    return "\n".join([header, separator, body])
+
+
+def format_grid(
+    values: Mapping, width: int, height: int, *, float_digits: int = 4, cell_width: int = 9
+) -> str:
+    """Render an ``(x, y) -> value`` mapping as a paper-style 2D grid.
+
+    Rows are y coordinates (vertical axis), columns are x coordinates, as in
+    the paper's Table III.  Missing cells (e.g. the memory-controller node)
+    are rendered as ``--``.
+    """
+    lines = []
+    header = "y\\x " + "".join(str(x).rjust(cell_width) for x in range(width))
+    lines.append(header)
+    for y in range(height):
+        cells = []
+        for x in range(width):
+            key = _grid_key(values, x, y)
+            if key is None:
+                cells.append("--".rjust(cell_width))
+            else:
+                cells.append(_fmt(values[key], float_digits).rjust(cell_width))
+        lines.append(str(y).ljust(4) + "".join(cells))
+    return "\n".join(lines)
+
+
+def _grid_key(values: Mapping, x: int, y: int):
+    """Accept mappings keyed by Coord-like objects or (x, y) tuples."""
+    for key in values:
+        kx = getattr(key, "x", None)
+        ky = getattr(key, "y", None)
+        if kx is None and isinstance(key, tuple) and len(key) == 2:
+            kx, ky = key
+        if kx == x and ky == y:
+            return key
+    return None
+
+
+def format_key_values(pairs: Mapping[str, Value], *, float_digits: int = 3) -> str:
+    """Render a flat mapping as aligned ``key : value`` lines."""
+    if not pairs:
+        return "(empty)"
+    width = max(len(k) for k in pairs)
+    return "\n".join(f"{k.ljust(width)} : {_fmt(v, float_digits)}" for k, v in pairs.items())

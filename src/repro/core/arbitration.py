@@ -1,0 +1,193 @@
+"""Output-port arbiters: round-robin and the WaW weighted round-robin.
+
+These classes are the behavioural model of the arbitration hardware and are
+used directly by the cycle-accurate router model (:mod:`repro.noc.router`).
+They are deliberately free of any simulator dependency so that they can also
+be unit- and property-tested in isolation (fairness, work conservation,
+bandwidth shares).
+
+The WaW arbiter implements the scheme described verbatim in the paper
+(Section III, "WaW implementation"):
+
+* each input port has a *flit count* initialised to its weight (the number of
+  flits it may transmit to the output port in one round);
+* when several input ports contend, the one with the **largest flit count**
+  wins and its count is decremented by one;
+* ties are broken with a conventional round-robin policy;
+* when an input port is the **unique** candidate its flit count is unaltered
+  (work conservation does not consume guaranteed bandwidth);
+* when **no** input port demands the output port, every flit count is
+  incremented, saturating at the port weight.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from ..geometry import Port
+
+__all__ = ["Arbiter", "RoundRobinArbiter", "WeightedRoundRobinArbiter"]
+
+
+class Arbiter:
+    """Interface of a single output-port arbiter."""
+
+    def __init__(self, candidates: Sequence[Port]):
+        if not candidates:
+            raise ValueError("an arbiter needs at least one candidate input port")
+        if len(set(candidates)) != len(candidates):
+            raise ValueError("duplicate candidate input ports")
+        self.candidates: List[Port] = list(candidates)
+
+    def grant(self, requesters: Iterable[Port]) -> Optional[Port]:
+        """Select one of ``requesters`` (must be candidates); ``None`` if empty.
+
+        Calling ``grant`` advances the arbiter state exactly as one
+        arbitration cycle of the hardware would.
+        """
+        raise NotImplementedError
+
+    def idle_cycle(self) -> None:
+        """Notify the arbiter that the output port had no requester this cycle."""
+        # Plain round-robin keeps no idle-cycle state; WaW refills credits.
+        return None
+
+    def _check(self, requesters: Iterable[Port]) -> List[Port]:
+        reqs = list(requesters)
+        unknown = [r for r in reqs if r not in self.candidates]
+        if unknown:
+            raise ValueError(f"unknown requester port(s): {unknown}")
+        return reqs
+
+
+class RoundRobinArbiter(Arbiter):
+    """Classic rotating-priority round-robin arbiter.
+
+    The port granted most recently gets the lowest priority in the next
+    arbitration, which guarantees that between two consecutive grants to the
+    same port every other requesting port is served at most once -- the
+    property the regular-mesh WCTT analysis relies on.
+    """
+
+    def __init__(self, candidates: Sequence[Port]):
+        super().__init__(candidates)
+        # Index into ``self.candidates`` of the port with the highest priority.
+        self._next_priority = 0
+
+    def grant(self, requesters: Iterable[Port]) -> Optional[Port]:
+        reqs = set(self._check(requesters))
+        if not reqs:
+            return None
+        n = len(self.candidates)
+        for offset in range(n):
+            idx = (self._next_priority + offset) % n
+            port = self.candidates[idx]
+            if port in reqs:
+                # The winner becomes the lowest-priority port next time.
+                self._next_priority = (idx + 1) % n
+                return port
+        return None  # pragma: no cover - unreachable, reqs is a subset of candidates
+
+    def priority_order(self) -> List[Port]:
+        """Current priority order, highest first (exposed for tests)."""
+        n = len(self.candidates)
+        return [self.candidates[(self._next_priority + i) % n] for i in range(n)]
+
+
+class WeightedRoundRobinArbiter(Arbiter):
+    """The WaW arbiter: per-input flit counters with largest-counter-first.
+
+    ``weights`` maps each candidate input port to the number of flits it may
+    transmit in one arbitration round (the integer WaW weight, i.e. the
+    number of flows reaching the output through that input).  A port with
+    weight zero can still be granted when it is the only requester or when
+    every contender has exhausted its credits -- the arbiter is work
+    conserving -- but it never takes bandwidth away from weighted ports under
+    contention.
+    """
+
+    def __init__(self, candidates: Sequence[Port], weights: Mapping[Port, int]):
+        super().__init__(candidates)
+        missing = [p for p in candidates if p not in weights]
+        if missing:
+            raise ValueError(f"missing weights for ports: {missing}")
+        negative = {p: w for p, w in weights.items() if w < 0}
+        if negative:
+            raise ValueError(f"weights must be non-negative: {negative}")
+        self.weights: Dict[Port, int] = {p: int(weights[p]) for p in candidates}
+        #: Current flit credits; start a round with full credits.
+        self.credits: Dict[Port, int] = dict(self.weights)
+        #: Tie-break round-robin among equal-credit contenders.
+        self._tie_breaker = RoundRobinArbiter(candidates)
+
+    # ------------------------------------------------------------------
+    def grant(self, requesters: Iterable[Port]) -> Optional[Port]:
+        reqs = self._check(requesters)
+        if not reqs:
+            self.idle_cycle()
+            return None
+        if len(reqs) == 1:
+            # "When an input port is the unique candidate to access an output
+            # port, its flit count is unaltered."
+            return reqs[0]
+
+        best_credit = max(self.credits[p] for p in reqs)
+        tied = [p for p in reqs if self.credits[p] == best_credit]
+        if len(tied) == 1:
+            winner = tied[0]
+        else:
+            # "If more than one contender has the largest flit count, a
+            # conventional round robin policy is used to arbitrate."
+            winner = self._tie_breaker.grant(tied)
+        assert winner is not None
+        if self.credits[winner] > 0:
+            self.credits[winner] -= 1
+        else:
+            # Every contender is exhausted; serving one anyway keeps the
+            # output busy (work conservation) and the subsequent refill on
+            # idle cycles restores the guaranteed shares.
+            self._refill_all()
+            if self.credits[winner] > 0:
+                self.credits[winner] -= 1
+        return winner
+
+    def idle_cycle(self) -> None:
+        """No requester this cycle: refill every counter up to its weight."""
+        for port in self.candidates:
+            if self.credits[port] < self.weights[port]:
+                self.credits[port] += 1
+
+    # ------------------------------------------------------------------
+    def _refill_all(self) -> None:
+        for port in self.candidates:
+            self.credits[port] = self.weights[port]
+
+    def credit_of(self, port: Port) -> int:
+        """Current flit credit of ``port`` (exposed for tests/diagnostics)."""
+        return self.credits[port]
+
+    def guaranteed_share(self, port: Port) -> float:
+        """Long-run bandwidth fraction guaranteed to ``port`` under saturation."""
+        total = sum(self.weights.values())
+        if total == 0:
+            return 1.0 / len(self.candidates)
+        return self.weights[port] / total
+
+
+def make_arbiter(
+    candidates: Sequence[Port],
+    *,
+    weighted: bool,
+    weights: Optional[Mapping[Port, int]] = None,
+) -> Arbiter:
+    """Factory used by the router model.
+
+    ``weights`` is required when ``weighted`` is true; candidates missing
+    from the mapping default to weight zero (ports that no flow can use).
+    """
+    if not weighted:
+        return RoundRobinArbiter(candidates)
+    weights = dict(weights or {})
+    for port in candidates:
+        weights.setdefault(port, 0)
+    return WeightedRoundRobinArbiter(candidates, weights)

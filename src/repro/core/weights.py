@@ -1,0 +1,268 @@
+"""WaW arbitration weights (paper Section III).
+
+WaW performs weighted round-robin arbitration at every router output port.
+The weight of an (input port, output port) pair is
+
+    W(I_dir_i, O_dir_o) = I_dir_i / O_dir_o                       (paper Eq. 1)
+
+where ``I_dir_i`` is the number of communication flows that can enter the
+router through input ``dir_i`` and ``O_dir_o`` the number of flows that can
+leave through output ``dir_o``.  With XY routing both numbers only depend on
+the router coordinates, so the weights can be computed statically and wired
+into the arbiters.
+
+This module provides three ways to obtain those counts:
+
+* :func:`paper_port_counts` -- the closed-form expressions exactly as printed
+  in the paper (with their ``X-`` off-by-one quirk, see below);
+* :func:`source_port_counts` -- the counts of *upstream source nodes* that
+  can cross each port under XY routing, derived from first principles.  This
+  is the counting that reproduces the paper's Table I example;
+* :class:`WeightTable` built from an arbitrary :class:`~repro.core.flows.FlowSet`
+  (e.g. all-to-one traffic towards the memory controller), which is what the
+  WCTT analysis and the simulator of the evaluated manycore use.
+
+Discrepancy note (documented in EXPERIMENTS.md): the printed closed forms
+give ``I_X- = N - x`` and ``O_X- = N - x + 1`` whereas the worked example of
+Table I (router R(1,1) of a 2x2 mesh, ``W(PME, X-) = 1``) requires
+``O_X- = N - x``; the printed forms count one fictitious node beyond the
+mesh edge.  :func:`source_port_counts` uses the self-consistent counting,
+:func:`paper_port_counts` reproduces the printed text verbatim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, Iterable, Mapping, Optional, Tuple
+
+from ..geometry import Coord, Mesh, Port
+from ..routing import legal_inputs_for_output
+from .flows import FlowSet
+
+__all__ = [
+    "PortCounts",
+    "paper_port_counts",
+    "source_port_counts",
+    "WeightTable",
+    "waw_weight",
+]
+
+
+@dataclass(frozen=True)
+class PortCounts:
+    """Flow counts entering (``inputs``) and leaving (``outputs``) a router."""
+
+    router: Coord
+    inputs: Mapping[Port, int]
+    outputs: Mapping[Port, int]
+
+    def input_count(self, port: Port) -> int:
+        return self.inputs.get(port, 0)
+
+    def output_count(self, port: Port) -> int:
+        return self.outputs.get(port, 0)
+
+
+def paper_port_counts(mesh: Mesh, router: Coord) -> PortCounts:
+    """Per-port flow counts using the closed forms exactly as printed.
+
+    ``N`` is the horizontal dimension (mesh width), ``M`` the vertical one
+    (mesh height), ``x``/``y`` the router coordinates -- the same notation as
+    the paper.
+    """
+    mesh.require(router)
+    n, m = mesh.width, mesh.height
+    x, y = router.x, router.y
+    inputs = {
+        Port.XPLUS: x,
+        Port.XMINUS: n - x,
+        Port.YPLUS: n * y,
+        Port.YMINUS: n * (m - y - 1),
+        Port.LOCAL: 1,
+    }
+    outputs = {
+        Port.XPLUS: x + 1,
+        Port.XMINUS: n - x + 1,
+        Port.YPLUS: n * (y + 1),
+        Port.YMINUS: n * (m - y),
+        Port.LOCAL: n * m - 1,
+    }
+    return PortCounts(router, inputs, outputs)
+
+
+def source_port_counts(mesh: Mesh, router: Coord) -> PortCounts:
+    """Per-port counts of source nodes whose traffic can cross each port.
+
+    Derived from XY routing over all-to-all traffic, counting distinct
+    *sources* (the granularity at which WaW balances bandwidth):
+
+    * ``X+`` input: traffic moving in +x is still in its X phase, so it can
+      only come from the ``x`` preceding nodes of the same row.
+    * ``Y+`` input: traffic moving in +y already completed its X phase in
+      this column, so it can come from any of the ``N * y`` nodes of the
+      preceding rows.
+    * ``X+`` output: the upstream sources of the ``X+`` input plus the local
+      node itself.
+    * ``PME`` (LOCAL) output: any of the other ``N*M - 1`` nodes can eject
+      here; the LOCAL input always counts exactly one source (the node).
+    """
+    mesh.require(router)
+    n, m = mesh.width, mesh.height
+    x, y = router.x, router.y
+    inputs = {
+        Port.XPLUS: x,
+        Port.XMINUS: n - 1 - x,
+        Port.YPLUS: n * y,
+        Port.YMINUS: n * (m - 1 - y),
+        Port.LOCAL: 1,
+    }
+    outputs = {
+        Port.XPLUS: x + 1,
+        Port.XMINUS: n - x,
+        Port.YPLUS: n * (y + 1),
+        Port.YMINUS: n * (m - y),
+        Port.LOCAL: n * m - 1,
+    }
+    return PortCounts(router, inputs, outputs)
+
+
+def waw_weight(counts: PortCounts, in_port: Port, out_port: Port) -> Fraction:
+    """Paper Eq. 1: ``W = I / O`` as an exact fraction.
+
+    Returns 0 when the output port serves no flow (the pair is never
+    arbitrated).
+    """
+    out_count = counts.output_count(out_port)
+    if out_count == 0:
+        return Fraction(0)
+    return Fraction(counts.input_count(in_port), out_count)
+
+
+class WeightTable:
+    """Statically computed WaW weights for every router of a mesh.
+
+    A weight table maps ``(router, input port, output port)`` to the integer
+    number of flit credits the input port receives in one arbitration round
+    of that output port.  The weighted-round-robin arbiter of the paper is
+    expressed in flit counts ("input port weight is measured as the number of
+    flits it can transmit to an output port"), so integer credits equal to
+    the flow counts implement exactly ``W = I / O``: in one full round the
+    output port serves ``O`` flits of which ``I`` come from the input.
+    """
+
+    def __init__(self, mesh: Mesh, counts_by_router: Mapping[Coord, PortCounts]):
+        self.mesh = mesh
+        self._counts: Dict[Coord, PortCounts] = dict(counts_by_router)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_closed_form(cls, mesh: Mesh, *, as_printed: bool = False) -> "WeightTable":
+        """Build from the closed forms (all-to-all traffic assumption).
+
+        ``as_printed=True`` uses the formulas verbatim from the paper,
+        otherwise the self-consistent source counting is used.
+        """
+        counts_fn = paper_port_counts if as_printed else source_port_counts
+        return cls(mesh, {router: counts_fn(mesh, router) for router in mesh.nodes()})
+
+    @classmethod
+    def from_flow_set(
+        cls, flow_set: FlowSet, *, granularity: str = "source"
+    ) -> "WeightTable":
+        """Build from an explicit flow set (e.g. all-to-one memory traffic).
+
+        ``granularity`` selects whether ports are weighted by the number of
+        distinct source nodes (``"source"``, the paper's counting) or by the
+        number of individual flows (``"flow"``).
+        """
+        if granularity not in ("source", "flow"):
+            raise ValueError("granularity must be 'source' or 'flow'")
+        mesh = flow_set.mesh
+        count = (
+            flow_set.port_source_count
+            if granularity == "source"
+            else flow_set.port_flow_count
+        )
+        counts_by_router: Dict[Coord, PortCounts] = {}
+        for router in mesh.nodes():
+            inputs = {port: count(router, port, "in") for port in mesh.input_ports(router)}
+            outputs = {port: count(router, port, "out") for port in mesh.output_ports(router)}
+            counts_by_router[router] = PortCounts(router, inputs, outputs)
+        return cls(mesh, counts_by_router)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def counts(self, router: Coord) -> PortCounts:
+        self.mesh.require(router)
+        return self._counts[router]
+
+    def input_credits(self, router: Coord, in_port: Port) -> int:
+        """Flit credits of ``in_port`` in one arbitration round (the weight)."""
+        return self.counts(router).input_count(in_port)
+
+    def output_round_flits(self, router: Coord, out_port: Port) -> int:
+        """Total flits served by ``out_port`` in one full arbitration round."""
+        return self.counts(router).output_count(out_port)
+
+    def weight(self, router: Coord, in_port: Port, out_port: Port) -> Fraction:
+        """Paper Eq. 1 weight ``W(I, O)`` for the pair, as an exact fraction."""
+        return waw_weight(self.counts(router), in_port, out_port)
+
+    def arbitration_weights(self, router: Coord, out_port: Port) -> Dict[Port, int]:
+        """Integer credits of every legal contender of ``out_port``.
+
+        Ports with zero upstream flows are included with weight 0 so that the
+        arbiter still grants them when they are the only requester (work
+        conservation; see :mod:`repro.core.arbitration`).
+        """
+        counts = self.counts(router)
+        legal = legal_inputs_for_output(self.mesh, router, out_port)
+        return {port: counts.input_count(port) for port in legal}
+
+    def table_rows(self, router: Coord) -> Iterable[Tuple[Port, Port, Fraction]]:
+        """All (input, output, weight) triples of a router with W > 0.
+
+        Used to reproduce the paper's Table I.
+        """
+        counts = self.counts(router)
+        for out_port in self.mesh.output_ports(router):
+            if counts.output_count(out_port) == 0:
+                continue
+            for in_port in legal_inputs_for_output(self.mesh, router, out_port):
+                weight = waw_weight(counts, in_port, out_port)
+                if weight > 0:
+                    yield in_port, out_port, weight
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"WeightTable({self.mesh})"
+
+
+def round_robin_weight(
+    mesh: Mesh, router: Coord, in_port: Port, out_port: Port, flow_set: Optional[FlowSet] = None
+) -> Fraction:
+    """Bandwidth fraction a plain round-robin arbiter gives to an input port.
+
+    Round-robin splits the output bandwidth evenly among the input ports that
+    carry at least one flow towards the output (or among all legal inputs if
+    no flow information is given).  Used to reproduce the "Regular Mesh"
+    column of the paper's Table I.
+    """
+    legal = legal_inputs_for_output(mesh, router, out_port)
+    if flow_set is not None:
+        active = [
+            p
+            for p in legal
+            if any(
+                flow in flow_set.flows_through_output(router, out_port)
+                for flow in flow_set.flows_through_input(router, p)
+            )
+        ]
+    else:
+        active = list(legal)
+    if in_port not in active or not active:
+        return Fraction(0)
+    return Fraction(1, len(active))

@@ -1,0 +1,41 @@
+"""Experiment drivers, one per table/figure of the paper plus ablations.
+
+========================  =====================================================
+Module                    Paper artefact
+========================  =====================================================
+``table1_weights``        Table I  -- WaW weights of router R(1,1) in a 2x2 mesh
+``table2_wctt``           Table II -- WCTT vs mesh size, regular vs WaW+WaP
+``table3_eembc``          Table III -- normalized per-core WCET of EEMBC (8x8)
+``fig2a_packet_size``     Figure 2(a) -- 3DPP WCET vs maximum packet size
+``fig2b_placement``       Figure 2(b) -- 3DPP WCET vs task placement
+``avg_performance``       Section IV -- average performance impact (< 1 %)
+``area_overhead``         Section III -- router area overhead (< 5 %)
+``ablation_mechanisms``   (extension) WaP-only / WaW-only decomposition
+``bound_validation``      (extension) analytical bounds vs simulation
+``runner``                command-line front-end (``repro-experiments``)
+========================  =====================================================
+"""
+
+from . import (
+    ablation_mechanisms,
+    area_overhead,
+    avg_performance,
+    bound_validation,
+    fig2a_packet_size,
+    fig2b_placement,
+    table1_weights,
+    table2_wctt,
+    table3_eembc,
+)
+
+__all__ = [
+    "ablation_mechanisms",
+    "area_overhead",
+    "avg_performance",
+    "bound_validation",
+    "fig2a_packet_size",
+    "fig2b_placement",
+    "table1_weights",
+    "table2_wctt",
+    "table3_eembc",
+]

@@ -1,0 +1,134 @@
+"""Experiment E8 (ablation) -- how much each mechanism contributes.
+
+The paper always evaluates WaP and WaW together.  This ablation separates
+their contributions to the WCTT bound on the evaluated 8x8 memory-traffic
+scenario:
+
+* **regular**           -- round-robin arbitration, maximum-size packets;
+* **WaP only**          -- round-robin arbitration, but every packet has the
+  minimum size, so contenders can only hold ports for ``m`` flits (this is the
+  regular-mesh analysis with the contender packet size forced to ``m``);
+* **WaW only**          -- weighted arbitration, but packets keep the maximum
+  size, so one arbitration round of an output port serves ``O x L`` flits;
+* **WaW + WaP**         -- the paper's proposal.
+
+It also contrasts the two contender-routing assumptions of the regular-mesh
+analysis (``merging`` vs ``any_direction``), quantifying how much of the
+regular design's blow-up comes from destination-agnostic contenders.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..analysis.reporting import format_table, format_title
+from ..core.config import regular_mesh_config, waw_wap_config
+from ..core.flows import FlowSet
+from ..core.wctt import wctt_summary
+from ..core.wctt_regular import RegularMeshWCTTAnalysis
+from ..core.wctt_weighted import WaWWaPWCTTAnalysis
+from ..geometry import Coord
+
+__all__ = ["AblationRow", "run", "report"]
+
+
+@dataclass(frozen=True)
+class AblationRow:
+    """WCTT statistics of one design variant."""
+
+    variant: str
+    maximum: int
+    average: float
+    minimum: int
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "variant": self.variant,
+            "max WCTT": self.maximum,
+            "mean WCTT": round(self.average, 2),
+            "min WCTT": self.minimum,
+        }
+
+
+def run(*, mesh_size: int = 8, max_packet_flits: int = 4) -> List[AblationRow]:
+    """Compute the ablation for one mesh size and maximum packet size."""
+    regular_cfg = regular_mesh_config(mesh_size, max_packet_flits=max_packet_flits)
+    waw_cfg = waw_wap_config(mesh_size, max_packet_flits=max_packet_flits)
+    destination = regular_cfg.memory_controller
+    flows = FlowSet.all_to_one(regular_cfg.mesh, destination)
+
+    rows: List[AblationRow] = []
+
+    def add(variant: str, analysis, packet_flits: int) -> None:
+        summary = wctt_summary(analysis, flows, packet_flits=packet_flits, design_label=variant)
+        rows.append(
+            AblationRow(
+                variant=variant,
+                maximum=summary.maximum,
+                average=summary.average,
+                minimum=summary.minimum,
+            )
+        )
+
+    # Baseline, both contender-routing assumptions.
+    add(
+        f"regular (L={max_packet_flits}, merging contenders)",
+        RegularMeshWCTTAnalysis(regular_cfg, contender_policy="merging"),
+        max_packet_flits,
+    )
+    add(
+        f"regular (L={max_packet_flits}, any-direction contenders)",
+        RegularMeshWCTTAnalysis(regular_cfg, contender_policy="any_direction"),
+        max_packet_flits,
+    )
+    # WaP only: round-robin, but the arbitration slot shrinks to one flit.
+    add(
+        "WaP only (round-robin, 1-flit packets)",
+        RegularMeshWCTTAnalysis(regular_cfg, contender_packet_flits=1),
+        1,
+    )
+    # WaW only: weighted arbitration with maximum-size packets.  Modelled by
+    # the weighted analysis with the minimum packet size set to L (every slot
+    # of the weighted round is a maximum-size packet).
+    waw_only_cfg = waw_wap_config(
+        mesh_size, max_packet_flits=max_packet_flits
+    )
+    waw_only_cfg = waw_only_cfg.__class__(
+        mesh=waw_only_cfg.mesh,
+        arbitration=waw_only_cfg.arbitration,
+        packetization=waw_only_cfg.packetization,
+        max_packet_flits=max_packet_flits,
+        min_packet_flits=max_packet_flits,
+        buffer_depth=waw_only_cfg.buffer_depth,
+        timing=waw_only_cfg.timing,
+        messages=waw_only_cfg.messages,
+        memory_controller=waw_only_cfg.memory_controller,
+    )
+    add(
+        f"WaW only (weighted, {max_packet_flits}-flit packets)",
+        WaWWaPWCTTAnalysis.for_memory_traffic(waw_only_cfg, include_replies=False),
+        max_packet_flits,
+    )
+    # The full proposal.
+    add(
+        "WaW + WaP (weighted, 1-flit packets)",
+        WaWWaPWCTTAnalysis.for_memory_traffic(waw_cfg, include_replies=False),
+        1,
+    )
+    return rows
+
+
+def report(rows: Optional[List[AblationRow]] = None) -> str:
+    rows = rows if rows is not None else run()
+    title = format_title("Ablation -- contribution of WaP and WaW to the WCTT bound (8x8, memory traffic)")
+    table = format_table([r.as_dict() for r in rows])
+    return f"{title}\n{table}"
+
+
+def main() -> None:  # pragma: no cover - thin CLI wrapper
+    print(report())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,103 @@
+"""Experiment E7 -- router area overhead of WaW + WaP (Section III, < 5 % claim).
+
+The paper states that, following the NoC area decomposition of Roca [24], the
+area increase of the proposal stays below 5 % of the NoC area: WaW only adds
+per-input flit counters and a comparison tree to each output-port arbiter,
+and WaP only adds a configuration register and slicing control to the NIC's
+existing packetization logic.
+
+This driver evaluates the parametric gate-count model of
+:mod:`repro.core.area` for the evaluated 64-node configuration (and a couple
+of sensitivity points on buffer depth and link width) and reports the
+per-component breakdown plus the relative overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..analysis.reporting import format_key_values, format_table, format_title
+from ..core.area import AreaParameters, router_area, waw_wap_overhead
+from ..core.config import NoCConfig, waw_wap_config
+
+__all__ = ["AreaPoint", "run", "report"]
+
+
+@dataclass(frozen=True)
+class AreaPoint:
+    """Relative overhead for one hardware configuration."""
+
+    label: str
+    buffer_depth: int
+    link_width_bits: int
+    baseline_gates: float
+    enhanced_gates: float
+
+    @property
+    def overhead_percent(self) -> float:
+        return (self.enhanced_gates / self.baseline_gates - 1.0) * 100.0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "configuration": self.label,
+            "buffer depth (flits)": self.buffer_depth,
+            "link width (bits)": self.link_width_bits,
+            "baseline router (gates)": round(self.baseline_gates),
+            "WaW+WaP router (gates)": round(self.enhanced_gates),
+            "overhead (%)": round(self.overhead_percent, 2),
+        }
+
+
+def run(
+    *,
+    config: Optional[NoCConfig] = None,
+    sensitivity: Sequence[Tuple[int, int]] = ((2, 132), (4, 132), (8, 132), (4, 64), (4, 256)),
+) -> List[AreaPoint]:
+    """Evaluate the area model for the evaluated system and sensitivity points."""
+    base_config = config if config is not None else waw_wap_config(8)
+    points: List[AreaPoint] = []
+
+    def evaluate(label: str, buffer_depth: int, link_width: int) -> AreaPoint:
+        params = AreaParameters(
+            flit_width_bits=link_width,
+            buffer_depth_flits=buffer_depth,
+            max_weight=base_config.mesh.num_nodes,
+        )
+        baseline = router_area(params).total
+        enhanced = router_area(params, with_waw=True, with_wap=True).total
+        return AreaPoint(label, buffer_depth, link_width, baseline, enhanced)
+
+    points.append(
+        evaluate("evaluated 64-node system", base_config.buffer_depth, base_config.messages.link_width_bits)
+    )
+    for depth, width in sensitivity:
+        if depth == base_config.buffer_depth and width == base_config.messages.link_width_bits:
+            continue
+        points.append(evaluate(f"buffers={depth}, link={width}b", depth, width))
+    return points
+
+
+def report(points: Optional[List[AreaPoint]] = None, *, config: Optional[NoCConfig] = None) -> str:
+    base_config = config if config is not None else waw_wap_config(8)
+    points = points if points is not None else run(config=base_config)
+    title = format_title("Router area overhead of WaW + WaP (gate-equivalent model)")
+    table = format_table([p.as_dict() for p in points])
+    breakdown = router_area(
+        AreaParameters.from_config(base_config), with_waw=True, with_wap=True
+    )
+    detail = format_key_values({k: round(v) for k, v in breakdown.as_dict().items()})
+    total = waw_wap_overhead(base_config) * 100.0
+    note = (
+        f"\nWhole-NoC overhead for the evaluated configuration: {total:.2f} % "
+        "(the paper reports < 5 %)."
+    )
+    return f"{title}\n{table}\n\nPer-component breakdown (evaluated configuration):\n{detail}{note}"
+
+
+def main() -> None:  # pragma: no cover - thin CLI wrapper
+    print(report())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

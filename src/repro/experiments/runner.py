@@ -1,0 +1,135 @@
+"""Command-line entry point running every experiment of the reproduction.
+
+Usage (installed as the ``repro-experiments`` console script)::
+
+    repro-experiments                 # run everything with default parameters
+    repro-experiments table2 fig2a    # run a subset
+    repro-experiments --list          # list available experiments
+    repro-experiments --quick         # smaller meshes / shorter simulations
+
+Each experiment corresponds to one table or figure of the paper (plus the
+ablation, validation and area studies); see DESIGN.md for the experiment
+index and EXPERIMENTS.md for paper-vs-measured numbers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict, List
+
+from . import (
+    ablation_mechanisms,
+    area_overhead,
+    avg_performance,
+    bound_validation,
+    fig2a_packet_size,
+    fig2b_placement,
+    table1_weights,
+    table2_wctt,
+    table3_eembc,
+)
+
+__all__ = ["EXPERIMENTS", "main", "run_experiment"]
+
+#: Experiment name -> (description, default report builder, quick report builder).
+EXPERIMENTS: Dict[str, Dict[str, Callable[[], str]]] = {
+    "table1": {
+        "description": "Table I  -- WaW arbitration weights of router R(1,1) in a 2x2 mesh",
+        "default": lambda: table1_weights.report(),
+        "quick": lambda: table1_weights.report(),
+    },
+    "table2": {
+        "description": "Table II -- WCTT scaling with mesh size, regular vs WaW+WaP",
+        "default": lambda: table2_wctt.report(),
+        "quick": lambda: table2_wctt.report(table2_wctt.run(sizes=(2, 3, 4))),
+    },
+    "table3": {
+        "description": "Table III -- per-core normalized WCET of EEMBC on an 8x8 mesh",
+        "default": lambda: table3_eembc.report(),
+        "quick": lambda: table3_eembc.report(table3_eembc.run(mesh_size=4)),
+    },
+    "fig2a": {
+        "description": "Fig 2(a) -- 3DPP WCET vs maximum packet size (L1/L4/L8)",
+        "default": lambda: fig2a_packet_size.report(),
+        "quick": lambda: fig2a_packet_size.report(),
+    },
+    "fig2b": {
+        "description": "Fig 2(b) -- 3DPP WCET across placements P0..P3",
+        "default": lambda: fig2b_placement.report(),
+        "quick": lambda: fig2b_placement.report(),
+    },
+    "avgperf": {
+        "description": "Average performance impact of WaW+WaP (cycle-accurate)",
+        "default": lambda: avg_performance.report(),
+        "quick": lambda: avg_performance.report(
+            avg_performance.run(mesh_size=3, profile_scale=0.001, parallel_threads=4)
+        ),
+    },
+    "area": {
+        "description": "Router area overhead of WaW+WaP (< 5 % claim)",
+        "default": lambda: area_overhead.report(),
+        "quick": lambda: area_overhead.report(),
+    },
+    "ablation": {
+        "description": "Ablation -- WaP-only / WaW-only / WaW+WaP WCTT contributions",
+        "default": lambda: ablation_mechanisms.report(),
+        "quick": lambda: ablation_mechanisms.report(ablation_mechanisms.run(mesh_size=4)),
+    },
+    "validation": {
+        "description": "Analytical bounds vs adversarial cycle-accurate measurements",
+        "default": lambda: bound_validation.report(),
+        "quick": lambda: bound_validation.report(
+            bound_validation.run(mesh_sizes=(3,), congestion_cycles=600)
+        ),
+    },
+}
+
+
+def run_experiment(name: str, *, quick: bool = False) -> str:
+    """Run one experiment by name and return its textual report."""
+    if name not in EXPERIMENTS:
+        known = ", ".join(sorted(EXPERIMENTS))
+        raise KeyError(f"unknown experiment {name!r}; known experiments: {known}")
+    builder = EXPERIMENTS[name]["quick" if quick else "default"]
+    return builder()
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Reproduce the tables and figures of the wormhole-mesh NoC paper.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        help="experiments to run (default: all); see --list",
+    )
+    parser.add_argument("--list", action="store_true", help="list available experiments and exit")
+    parser.add_argument(
+        "--quick", action="store_true", help="use smaller meshes / shorter simulations"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name in sorted(EXPERIMENTS):
+            print(f"{name:12s} {EXPERIMENTS[name]['description']}")
+        return 0
+
+    names = args.experiments if args.experiments else sorted(EXPERIMENTS)
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        print("use --list to see the available experiments", file=sys.stderr)
+        return 2
+
+    for name in names:
+        start = time.time()
+        print(run_experiment(name, quick=args.quick))
+        print(f"\n[{name} completed in {time.time() - start:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,39 @@
+"""Manycore substrate: cores, caches, memory controller and WCET machinery."""
+
+from .cache import Cache, CacheAccessResult, CacheConfig
+from .core import Core
+from .memory import MemoryController
+from .placement import (
+    Placement,
+    block_placement,
+    diagonal_placement,
+    row_placement,
+    standard_placements,
+)
+from .system import ManycoreSystem
+from .wcet_mode import (
+    ParallelWCET,
+    PhaseWCET,
+    TaskWCET,
+    wcet_of_parallel_workload,
+    wcet_of_profile,
+)
+
+__all__ = [
+    "Cache",
+    "CacheAccessResult",
+    "CacheConfig",
+    "Core",
+    "MemoryController",
+    "Placement",
+    "block_placement",
+    "diagonal_placement",
+    "row_placement",
+    "standard_placements",
+    "ManycoreSystem",
+    "ParallelWCET",
+    "PhaseWCET",
+    "TaskWCET",
+    "wcet_of_parallel_workload",
+    "wcet_of_profile",
+]

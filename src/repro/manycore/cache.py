@@ -1,0 +1,118 @@
+"""Private per-core cache model.
+
+Each core of the evaluated manycore has a private cache; only its *misses*
+and *write-backs* reach the NoC.  The reproduction provides a small but real
+set-associative write-back cache model so that address-level workloads (the
+3D path-planning application, custom traces) generate realistic NoC traffic,
+and so that the profile-driven workloads (EEMBC-like) can be expressed as
+miss statistics without address streams.
+
+The model is deliberately simple -- LRU replacement, write-allocate,
+write-back -- because only the *number* of NoC transactions matters for the
+paper's experiments, not hit latencies.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+__all__ = ["CacheConfig", "CacheAccessResult", "Cache"]
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry of a private cache."""
+
+    size_bytes: int = 16 * 1024
+    line_bytes: int = 64
+    associativity: int = 4
+
+    def __post_init__(self) -> None:
+        if self.line_bytes < 1 or self.size_bytes < self.line_bytes:
+            raise ValueError("invalid cache geometry")
+        if self.associativity < 1:
+            raise ValueError("associativity must be >= 1")
+        if self.size_bytes % (self.line_bytes * self.associativity) != 0:
+            raise ValueError("size must be a multiple of line_bytes * associativity")
+
+    @property
+    def num_sets(self) -> int:
+        return self.size_bytes // (self.line_bytes * self.associativity)
+
+
+@dataclass(frozen=True)
+class CacheAccessResult:
+    """Outcome of one access: does it miss, and does it evict a dirty line?"""
+
+    hit: bool
+    writeback: bool
+    #: Address of the evicted dirty line (line-aligned), if any.
+    evicted_line: Optional[int] = None
+
+
+class Cache:
+    """Set-associative write-back write-allocate cache with LRU replacement."""
+
+    def __init__(self, config: Optional[CacheConfig] = None):
+        self.config = config if config is not None else CacheConfig()
+        #: Per-set ordered mapping tag -> dirty flag; ordering encodes LRU
+        #: (most recently used last).
+        self._sets: Dict[int, "OrderedDict[int, bool]"] = {
+            idx: OrderedDict() for idx in range(self.config.num_sets)
+        }
+        self.hits = 0
+        self.misses = 0
+        self.writebacks = 0
+
+    # ------------------------------------------------------------------
+    def _locate(self, address: int) -> Tuple[int, int]:
+        line = address // self.config.line_bytes
+        set_index = line % self.config.num_sets
+        tag = line // self.config.num_sets
+        return set_index, tag
+
+    def access(self, address: int, *, is_write: bool = False) -> CacheAccessResult:
+        """Perform one access and return its NoC-visible consequences."""
+        if address < 0:
+            raise ValueError("addresses must be non-negative")
+        set_index, tag = self._locate(address)
+        ways = self._sets[set_index]
+
+        if tag in ways:
+            self.hits += 1
+            dirty = ways.pop(tag)
+            ways[tag] = dirty or is_write
+            return CacheAccessResult(hit=True, writeback=False)
+
+        self.misses += 1
+        evicted_line: Optional[int] = None
+        writeback = False
+        if len(ways) >= self.config.associativity:
+            victim_tag, victim_dirty = ways.popitem(last=False)
+            if victim_dirty:
+                writeback = True
+                self.writebacks += 1
+                victim_line = victim_tag * self.config.num_sets + set_index
+                evicted_line = victim_line * self.config.line_bytes
+        ways[tag] = is_write
+        return CacheAccessResult(hit=False, writeback=writeback, evicted_line=evicted_line)
+
+    # ------------------------------------------------------------------
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    def reset_statistics(self) -> None:
+        self.hits = self.misses = self.writebacks = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Cache({self.config.size_bytes}B, {self.config.associativity}-way, "
+            f"{self.misses}/{self.accesses} misses)"
+        )

@@ -1,0 +1,107 @@
+"""Memory controller model.
+
+The evaluated manycore routes every off-chip access through a single memory
+controller attached to router ``R(0, 0)``.  The controller model listens for
+request messages completing at its NIC, applies a fixed service latency and
+injects the corresponding reply:
+
+* ``"load"`` requests (1 flit) are answered with a ``"reply"`` carrying a
+  cache line (4 flits of payload under regular packetization);
+* ``"eviction"`` write-backs (4 flits) are answered with a 1-flit
+  ``"eviction_ack"``.
+
+The service latency models DRAM access plus controller queueing and is
+identical for both NoC design points, so it shifts both designs' results by
+the same amount.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Optional, Tuple
+
+from ..core.config import NoCConfig
+from ..core.ubd import MemoryTiming
+from ..geometry import Coord
+from ..noc.flit import Message
+from ..noc.network import Network
+
+__all__ = ["MemoryController"]
+
+
+class MemoryController:
+    """Request/reply protocol engine attached to one node of the network."""
+
+    def __init__(
+        self,
+        network: Network,
+        node: Optional[Coord] = None,
+        *,
+        timing: Optional[MemoryTiming] = None,
+    ):
+        self.network = network
+        self.config: NoCConfig = network.config
+        self.node = node if node is not None else self.config.memory_controller
+        self.config.mesh.require(self.node)
+        self.timing = timing if timing is not None else MemoryTiming()
+
+        #: Replies scheduled for future injection: (ready_cycle, seq, message).
+        self._pending: List[Tuple[int, int, Message]] = []
+        self._seq = 0
+        self.served_loads = 0
+        self.served_evictions = 0
+
+        network.add_listener(self.node, self._on_message)
+
+    # ------------------------------------------------------------------
+    def _on_message(self, message: Message, cycle: int) -> None:
+        """NIC callback: a request message has fully arrived."""
+        if message.destination != self.node:
+            return
+        messages = self.config.messages
+        if message.kind == "load":
+            self.served_loads += 1
+            reply_kind = "reply"
+            reply_flits = messages.reply_flits
+        elif message.kind == "eviction":
+            self.served_evictions += 1
+            reply_kind = "eviction_ack"
+            reply_flits = messages.eviction_ack_flits
+        else:
+            # Unknown kinds (raw synthetic traffic) are consumed silently.
+            return
+        ready = cycle + self.timing.service_latency
+        heapq.heappush(
+            self._pending,
+            (ready, self._next_seq(), Message(
+                source=self.node,
+                destination=message.source,
+                payload_flits=reply_flits,
+                kind=reply_kind,
+                context=message.context,
+            )),
+        )
+
+    def _next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    # ------------------------------------------------------------------
+    def step(self, cycle: int) -> None:
+        """Inject every reply whose service latency has elapsed."""
+        while self._pending and self._pending[0][0] <= cycle:
+            _, __, reply = heapq.heappop(self._pending)
+            self.network.nics[self.node].send_message(reply, cycle)
+            self.network.stats.record_send(reply)
+
+    def has_work(self) -> bool:
+        return bool(self._pending)
+
+    def pending_replies(self) -> int:
+        return len(self._pending)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"MemoryController(node={self.node}, served={self.served_loads} loads, "
+            f"{self.served_evictions} evictions)"
+        )

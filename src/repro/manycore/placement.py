@@ -1,0 +1,171 @@
+"""Task-to-core placements.
+
+Where the threads of a parallel application are placed on the mesh is a
+first-order factor of its WCET on a regular wNoC (the paper's Figure 2(b)
+shows more than 6x variation across placements), whereas WaW+WaP keeps the
+variation within ~20 %.  :class:`Placement` maps logical thread ids to mesh
+coordinates; :func:`standard_placements` builds the four 16-core placements
+(P0..P3) used in the reproduction of that experiment:
+
+* **P0** -- a compact 4x4 block adjacent to the memory controller corner;
+* **P1** -- a compact 4x4 block in the opposite (far) corner;
+* **P2** -- two full rows in the middle of the chip;
+* **P3** -- threads spread along the main diagonal and its neighbourhood.
+
+The exact placements of the paper are not published; these four capture the
+same intent (near, far, stripe, scattered) and therefore the same spread of
+NoC distances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from ..geometry import Coord, Mesh
+
+__all__ = ["Placement", "standard_placements", "block_placement", "diagonal_placement", "row_placement"]
+
+
+@dataclass
+class Placement:
+    """A mapping of logical thread ids onto mesh nodes."""
+
+    name: str
+    mapping: Dict[int, Coord] = field(default_factory=dict)
+
+    def assign(self, thread_id: int, node: Coord) -> None:
+        if thread_id in self.mapping:
+            raise ValueError(f"thread {thread_id} already placed at {self.mapping[thread_id]}")
+        if node in self.mapping.values():
+            raise ValueError(f"node {node} already hosts a thread")
+        self.mapping[thread_id] = node
+
+    def node_of(self, thread_id: int) -> Coord:
+        if thread_id not in self.mapping:
+            raise KeyError(f"thread {thread_id} is not placed")
+        return self.mapping[thread_id]
+
+    def thread_ids(self) -> List[int]:
+        return sorted(self.mapping.keys())
+
+    def nodes(self) -> List[Coord]:
+        return [self.mapping[tid] for tid in self.thread_ids()]
+
+    def __len__(self) -> int:
+        return len(self.mapping)
+
+    def validate(self, mesh: Mesh, *, forbidden: Iterable[Coord] = ()) -> None:
+        """Check every node is inside the mesh and none is forbidden (e.g. the MC)."""
+        forbidden = set(forbidden)
+        for tid, node in self.mapping.items():
+            mesh.require(node)
+            if node in forbidden:
+                raise ValueError(f"thread {tid} placed on a forbidden node {node}")
+
+    def average_distance_to(self, target: Coord) -> float:
+        """Mean Manhattan distance of the placed threads to ``target``."""
+        if not self.mapping:
+            raise ValueError("empty placement")
+        return sum(node.manhattan(target) for node in self.mapping.values()) / len(self.mapping)
+
+
+# ----------------------------------------------------------------------
+# Placement constructors
+# ----------------------------------------------------------------------
+def block_placement(
+    name: str,
+    mesh: Mesh,
+    *,
+    origin: Coord,
+    width: int,
+    height: int,
+    skip: Iterable[Coord] = (),
+) -> Placement:
+    """Place threads on a compact ``width x height`` block starting at ``origin``."""
+    skip = set(skip)
+    placement = Placement(name)
+    thread_id = 0
+    for dy in range(height):
+        for dx in range(width):
+            node = Coord(origin.x + dx, origin.y + dy)
+            mesh.require(node)
+            if node in skip:
+                continue
+            placement.assign(thread_id, node)
+            thread_id += 1
+    return placement
+
+
+def row_placement(
+    name: str, mesh: Mesh, *, rows: Iterable[int], skip: Iterable[Coord] = ()
+) -> Placement:
+    """Place threads along full mesh rows (a stripe placement)."""
+    skip = set(skip)
+    placement = Placement(name)
+    thread_id = 0
+    for y in rows:
+        for x in range(mesh.width):
+            node = Coord(x, y)
+            mesh.require(node)
+            if node in skip:
+                continue
+            placement.assign(thread_id, node)
+            thread_id += 1
+    return placement
+
+
+def diagonal_placement(
+    name: str, mesh: Mesh, *, count: int, skip: Iterable[Coord] = ()
+) -> Placement:
+    """Scatter threads along the main diagonal and its immediate neighbours."""
+    skip = set(skip)
+    placement = Placement(name)
+    thread_id = 0
+    # Walk the diagonal, then the band next to it, until ``count`` threads are placed.
+    for offset in range(mesh.width + mesh.height):
+        for d in range(min(mesh.width, mesh.height)):
+            x, y = d, (d + offset) % mesh.height
+            node = Coord(x, y)
+            if not mesh.contains(node) or node in skip or node in placement.mapping.values():
+                continue
+            placement.assign(thread_id, node)
+            thread_id += 1
+            if thread_id >= count:
+                return placement
+    if thread_id < count:
+        raise ValueError(f"could not place {count} threads on {mesh}")
+    return placement
+
+
+def standard_placements(
+    mesh: Mesh, *, num_threads: int = 16, memory_controller: Optional[Coord] = None
+) -> Dict[str, Placement]:
+    """The four placements (P0..P3) of the Figure 2(b) reproduction.
+
+    Requires a mesh of at least 8x8 for the canonical 16-thread setup; the
+    memory-controller node is never used for application threads.
+    """
+    mc = memory_controller if memory_controller is not None else Coord(0, 0)
+    if num_threads != 16 or mesh.width < 8 or mesh.height < 8:
+        raise ValueError("standard placements are defined for 16 threads on an 8x8 (or larger) mesh")
+
+    placements = {
+        # Compact block next to the memory-controller corner.  The corner
+        # node itself hosts the MC, so the block starts one column away.
+        "P0": block_placement("P0", mesh, origin=Coord(1, 0), width=4, height=4, skip=[mc]),
+        # Compact block around the centre of the chip.
+        "P1": block_placement("P1", mesh, origin=Coord(2, 2), width=4, height=4, skip=[mc]),
+        # Two full rows across the middle of the chip.
+        "P2": row_placement("P2", mesh, rows=[mesh.height // 2 - 1, mesh.height // 2], skip=[mc]),
+        # Scattered along the main diagonal (spans the whole chip, including
+        # nodes far from the memory controller).
+        "P3": diagonal_placement("P3", mesh, count=num_threads, skip=[mc]),
+    }
+    for placement in placements.values():
+        placement.validate(mesh, forbidden=[mc])
+        # Stripe/diagonal constructors may place more than 16 threads; trim.
+        extra = [tid for tid in placement.thread_ids() if tid >= num_threads]
+        for tid in extra:
+            del placement.mapping[tid]
+    return placements

@@ -1,0 +1,186 @@
+"""Assembly of the full manycore: cores + NoC + memory controller.
+
+:class:`ManycoreSystem` owns a :class:`~repro.noc.network.Network`, a
+:class:`~repro.manycore.memory.MemoryController` at the configured node and
+any number of :class:`~repro.manycore.core.Core` instances, and advances all
+of them in lock-step.  It is the entry point for the *average-performance*
+experiments (actual execution on the cycle-accurate NoC, no upper-bound
+delays) and for any user who wants to run their own workloads on the
+simulated platform.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional
+
+from ..core.config import NoCConfig
+from ..core.ubd import MemoryTiming
+from ..core.weights import WeightTable
+from ..geometry import Coord
+from ..noc.network import Network
+from ..workloads.parallel import ParallelWorkload
+from ..workloads.trace import AccessTrace, MemoryOperation, TaskProfile
+from .cache import Cache, CacheConfig
+from .core import Core
+from .memory import MemoryController
+from .placement import Placement
+
+__all__ = ["ManycoreSystem"]
+
+
+class ManycoreSystem:
+    """A simulated manycore: N x M mesh, one memory controller, many cores."""
+
+    def __init__(
+        self,
+        config: NoCConfig,
+        *,
+        weight_table: Optional[WeightTable] = None,
+        memory_timing: Optional[MemoryTiming] = None,
+    ):
+        self.config = config
+        self.network = Network(config, weight_table)
+        self.memory_timing = memory_timing if memory_timing is not None else MemoryTiming()
+        self.memory_controller = MemoryController(
+            self.network, config.memory_controller, timing=self.memory_timing
+        )
+        self.cores: Dict[Coord, Core] = {}
+
+    # ------------------------------------------------------------------
+    # Core construction helpers
+    # ------------------------------------------------------------------
+    def add_core(
+        self,
+        node: Coord,
+        operations: Iterator[MemoryOperation],
+        *,
+        cache: Optional[Cache] = None,
+        name: str = "",
+    ) -> Core:
+        """Attach a core running an explicit operation stream at ``node``."""
+        if node in self.cores:
+            raise ValueError(f"node {node} already hosts a core")
+        core = Core(
+            node,
+            self.network,
+            operations,
+            cache=cache,
+            memory_controller=self.config.memory_controller,
+            name=name,
+        )
+        self.cores[node] = core
+        return core
+
+    def add_profile_core(self, node: Coord, profile: TaskProfile) -> Core:
+        """Attach a core running a profile-driven (EEMBC-like) task."""
+        return self.add_core(node, profile.operations(), name=profile.name)
+
+    def add_trace_core(
+        self,
+        node: Coord,
+        trace: AccessTrace,
+        *,
+        cache_config: Optional[CacheConfig] = None,
+    ) -> Core:
+        """Attach a core running an address-level trace behind a private cache."""
+        cache = Cache(cache_config)
+        return self.add_core(node, trace.operations(), cache=cache, name=trace.name)
+
+    def add_parallel_workload(
+        self,
+        workload: ParallelWorkload,
+        placement: Placement,
+        *,
+        per_phase_serialisation: bool = False,
+    ) -> List[Core]:
+        """Attach one core per thread of a barrier-synchronised workload.
+
+        The operation stream of each thread concatenates its phases; the
+        barrier synchronisation itself is not enforced cycle-accurately
+        (threads proceed independently), which is sufficient for the
+        average-performance experiment.  ``per_phase_serialisation`` inserts
+        the barrier cost as extra compute cycles between phases.
+        """
+        cores: List[Core] = []
+        for thread_id in range(workload.num_threads):
+            node = placement.node_of(thread_id)
+            ops = self._thread_operations(workload, thread_id, per_phase_serialisation)
+            cores.append(self.add_core(node, ops, name=f"{workload.name}-t{thread_id}"))
+        return cores
+
+    @staticmethod
+    def _thread_operations(
+        workload: ParallelWorkload, thread_id: int, per_phase_serialisation: bool
+    ) -> Iterator[MemoryOperation]:
+        def _generate() -> Iterator[MemoryOperation]:
+            for phase in workload.phases:
+                work = phase.work_of(thread_id)
+                ops = work.noc_operations
+                if ops == 0:
+                    if work.compute_cycles:
+                        yield MemoryOperation(compute_cycles=work.compute_cycles, is_write=True)
+                    continue
+                gap = max(1, work.compute_cycles // ops)
+                evictions = work.evictions
+                for i in range(ops):
+                    # Integer spreading gives exactly ``evictions`` writes.
+                    is_write = (i + 1) * evictions // ops > i * evictions // ops
+                    yield MemoryOperation(compute_cycles=gap, is_write=is_write)
+                if per_phase_serialisation and workload.barrier_cycles:
+                    yield MemoryOperation(compute_cycles=workload.barrier_cycles, is_write=True)
+
+        return _generate()
+
+    # ------------------------------------------------------------------
+    # Simulation
+    # ------------------------------------------------------------------
+    @property
+    def cycle(self) -> int:
+        return self.network.cycle
+
+    def step(self) -> None:
+        """Advance cores, memory controller and network by one cycle."""
+        now = self.network.cycle
+        for core in self.cores.values():
+            core.step(now)
+        self.memory_controller.step(now)
+        self.network.step()
+
+    def run(self, cycles: int) -> None:
+        for _ in range(cycles):
+            self.step()
+
+    def all_cores_done(self) -> bool:
+        return all(core.done for core in self.cores.values())
+
+    def run_to_completion(self, *, max_cycles: int = 5_000_000) -> int:
+        """Run until every core finished its workload and the NoC drained."""
+        start = self.cycle
+        while not (self.all_cores_done() and self.network.is_idle() and not self.memory_controller.has_work()):
+            if self.cycle - start > max_cycles:
+                raise RuntimeError(f"workload did not complete within {max_cycles} cycles")
+            self.step()
+        return self.cycle - start
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    def makespan(self) -> int:
+        """Cycles from start until the last core finished (after a run)."""
+        finishes = [core.finish_cycle for core in self.cores.values()]
+        if any(f is None for f in finishes):
+            raise RuntimeError("some cores have not finished yet")
+        return max(finishes)  # type: ignore[arg-type]
+
+    def per_core_cycles(self) -> Dict[Coord, int]:
+        """Per-core elapsed execution cycles (after a completed run)."""
+        result = {}
+        for node, core in self.cores.items():
+            elapsed = core.elapsed_cycles
+            if elapsed is None:
+                raise RuntimeError(f"core at {node} has not finished")
+            result[node] = elapsed
+        return result
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ManycoreSystem({self.config.describe()}, {len(self.cores)} cores)"

@@ -1,0 +1,144 @@
+"""WCET-computation mode: analytical WCET estimates from UBD tables.
+
+The evaluated architecture supports the WCET-computation mode of Paolieri et
+al. [17]: at analysis time every NoC access of the task under analysis is
+delayed by an upper bound delay (UBD), so the execution time observed in that
+mode is a safe and *time-composable* WCET estimate -- it does not depend on
+what any co-runner does, because the UBD already accounts for the worst
+possible interference.
+
+Because in that mode every NoC access costs exactly its UBD, the WCET
+estimate of a task is a closed-form function of its profile:
+
+    WCET(task, core) = compute_cycles
+                     + loads      * UBD_load(core)
+                     + evictions  * UBD_eviction(core)
+
+and the WCET estimate of a barrier-synchronised parallel application is the
+sum over phases of the slowest thread's estimate plus the barrier cost.
+This module implements both, on top of :class:`repro.core.ubd.UBDTable`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..core.ubd import UBDTable
+from ..geometry import Coord
+from ..workloads.parallel import ParallelWorkload
+from ..workloads.trace import TaskProfile
+from .placement import Placement
+
+__all__ = [
+    "TaskWCET",
+    "PhaseWCET",
+    "ParallelWCET",
+    "wcet_of_profile",
+    "wcet_of_parallel_workload",
+]
+
+
+@dataclass(frozen=True)
+class TaskWCET:
+    """WCET estimate of one single-threaded task on one core."""
+
+    task: str
+    core: Coord
+    compute_cycles: int
+    load_cycles: int
+    eviction_cycles: int
+
+    @property
+    def total(self) -> int:
+        return self.compute_cycles + self.load_cycles + self.eviction_cycles
+
+    @property
+    def noc_fraction(self) -> float:
+        """Fraction of the WCET spent on (bounded) NoC round trips."""
+        return (self.load_cycles + self.eviction_cycles) / self.total if self.total else 0.0
+
+
+def wcet_of_profile(profile: TaskProfile, core: Coord, ubd_table: UBDTable) -> TaskWCET:
+    """WCET estimate of a profile-driven task running on ``core``."""
+    entry = ubd_table.entry(core)
+    return TaskWCET(
+        task=profile.name,
+        core=core,
+        compute_cycles=profile.compute_cycles,
+        load_cycles=profile.memory_loads * entry.load_ubd,
+        eviction_cycles=profile.evictions * entry.eviction_ubd,
+    )
+
+
+@dataclass(frozen=True)
+class PhaseWCET:
+    """WCET estimate of one phase of a parallel application."""
+
+    phase: str
+    per_thread: Dict[int, int]
+    critical_thread: int
+    critical_cycles: int
+
+
+@dataclass(frozen=True)
+class ParallelWCET:
+    """WCET estimate of a complete barrier-synchronised application."""
+
+    workload: str
+    placement: str
+    phases: List[PhaseWCET]
+    barrier_cycles: int
+
+    @property
+    def total(self) -> int:
+        return sum(p.critical_cycles for p in self.phases) + self.barrier_cycles * len(self.phases)
+
+    def phase_totals(self) -> List[int]:
+        return [p.critical_cycles for p in self.phases]
+
+
+def wcet_of_parallel_workload(
+    workload: ParallelWorkload,
+    placement: Placement,
+    ubd_table: UBDTable,
+    *,
+    name: Optional[str] = None,
+) -> ParallelWCET:
+    """WCET estimate of a parallel workload under a given placement.
+
+    Every thread's per-phase estimate uses the UBD of the core it is placed
+    on; the phase WCET is the maximum over threads (barrier semantics) and
+    the application WCET adds the fixed barrier cost per phase.
+    """
+    placement.validate(ubd_table.config.mesh, forbidden=[ubd_table.config.memory_controller])
+    missing = [tid for tid in range(workload.num_threads) if tid not in placement.mapping]
+    if missing:
+        raise ValueError(f"placement {placement.name} does not place threads {missing}")
+
+    phases: List[PhaseWCET] = []
+    for phase in workload.phases:
+        per_thread: Dict[int, int] = {}
+        for thread_id in range(workload.num_threads):
+            work = phase.work_of(thread_id)
+            entry = ubd_table.entry(placement.node_of(thread_id))
+            per_thread[thread_id] = (
+                work.compute_cycles
+                + work.loads * entry.load_ubd
+                + work.evictions * entry.eviction_ubd
+            )
+        critical_thread = max(per_thread, key=per_thread.get)
+        phases.append(
+            PhaseWCET(
+                phase=phase.name,
+                per_thread=per_thread,
+                critical_thread=critical_thread,
+                critical_cycles=per_thread[critical_thread],
+            )
+        )
+    return ParallelWCET(
+        workload=name if name is not None else workload.name,
+        placement=placement.name,
+        phases=phases,
+        barrier_cycles=workload.barrier_cycles,
+    )

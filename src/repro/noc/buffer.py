@@ -1,0 +1,64 @@
+"""Input-port flit buffers with credit-based backpressure accounting."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+from .flit import Flit
+
+__all__ = ["FlitBuffer"]
+
+
+class FlitBuffer:
+    """A bounded FIFO of flits attached to one router input port.
+
+    The upstream router (or NIC) tracks a credit per free slot of this
+    buffer: it may only forward a flit when a credit is available, and the
+    credit is returned when the flit leaves the buffer.  The buffer itself
+    only enforces its capacity; credit bookkeeping lives in the router to
+    keep the hot loop simple.
+    """
+
+    def __init__(self, capacity: int, name: str = "buffer"):
+        if capacity < 1:
+            raise ValueError("buffer capacity must be >= 1")
+        self.capacity = capacity
+        self.name = name
+        self._fifo: Deque[Flit] = deque()
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._fifo)
+
+    @property
+    def free_slots(self) -> int:
+        return self.capacity - len(self._fifo)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._fifo) >= self.capacity
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._fifo
+
+    # ------------------------------------------------------------------
+    def push(self, flit: Flit) -> None:
+        """Append a flit; raises if the upstream violated credit flow control."""
+        if self.is_full:
+            raise OverflowError(f"{self.name}: push into a full buffer (credit protocol violation)")
+        self._fifo.append(flit)
+
+    def peek(self) -> Optional[Flit]:
+        """Head-of-line flit without removing it (``None`` when empty)."""
+        return self._fifo[0] if self._fifo else None
+
+    def pop(self) -> Flit:
+        """Remove and return the head-of-line flit."""
+        if not self._fifo:
+            raise IndexError(f"{self.name}: pop from an empty buffer")
+        return self._fifo.popleft()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"FlitBuffer({self.name}, {len(self)}/{self.capacity})"

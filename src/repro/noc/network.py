@@ -1,0 +1,186 @@
+"""The assembled mesh network and its cycle-driven simulation loop.
+
+:class:`Network` instantiates one :class:`~repro.noc.router.Router` and one
+:class:`~repro.noc.nic.NIC` per mesh node, wires them together and advances
+the whole system cycle by cycle.  Within a cycle every NIC and every router
+is evaluated against the *previous* end-of-cycle state and emits events
+(inject, forward, eject, credit); the events are applied once everybody has
+been evaluated, so simulation results do not depend on the order in which
+routers are visited.
+
+The network exposes a deliberately small API to the layers above it
+(:mod:`repro.manycore`, :mod:`repro.workloads`):
+
+* :meth:`Network.send` -- enqueue a message for injection;
+* :meth:`Network.add_listener` -- observe message completions at a node;
+* :meth:`Network.step` / :meth:`Network.run` / :meth:`Network.run_until_idle`
+  -- advance time;
+* :attr:`Network.stats` -- aggregated traffic statistics.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional
+
+from ..core.config import NoCConfig
+from ..core.weights import WeightTable
+from ..geometry import Coord, Port
+from .flit import Message
+from .nic import NIC
+from .router import Router
+from .stats import NetworkStats
+
+__all__ = ["Network"]
+
+
+class Network:
+    """A complete wormhole mesh NoC instance."""
+
+    def __init__(self, config: NoCConfig, weight_table: Optional[WeightTable] = None):
+        self.config = config
+        self.mesh = config.mesh
+        if config.is_waw and weight_table is None:
+            # Default WaW configuration: the closed-form all-to-all weights.
+            weight_table = WeightTable.from_closed_form(config.mesh)
+        self.weight_table = weight_table
+
+        self.routers: Dict[Coord, Router] = {
+            coord: Router(coord, config, weight_table) for coord in self.mesh.nodes()
+        }
+        self.nics: Dict[Coord, NIC] = {coord: NIC(coord, config) for coord in self.mesh.nodes()}
+
+        self.cycle = 0
+        self.stats = NetworkStats()
+        for nic in self.nics.values():
+            nic.add_listener(self.stats.record_message)
+
+        self._pending_sends: List[Message] = []
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def send(
+        self,
+        source: Coord,
+        destination: Coord,
+        payload_flits: int,
+        *,
+        kind: str = "data",
+        context: Optional[object] = None,
+    ) -> Message:
+        """Create a message and hand it to the source NIC at the current cycle."""
+        message = Message(
+            source=source,
+            destination=destination,
+            payload_flits=payload_flits,
+            kind=kind,
+            context=context,
+        )
+        self.nics[source].send_message(message, self.cycle)
+        self.stats.record_send(message)
+        return message
+
+    def add_listener(self, node: Coord, listener: Callable[[Message, int], None]) -> None:
+        """Register a completion callback at ``node`` (e.g. a memory controller)."""
+        self.nics[node].add_listener(listener)
+
+    def nic(self, node: Coord) -> NIC:
+        return self.nics[self.mesh.require(node)]
+
+    def router(self, node: Coord) -> Router:
+        return self.routers[self.mesh.require(node)]
+
+    # ------------------------------------------------------------------
+    # Simulation loop
+    # ------------------------------------------------------------------
+    def step(self) -> None:
+        """Advance the network by one clock cycle."""
+        events: List[tuple] = []
+        now = self.cycle
+
+        for nic in self.nics.values():
+            if nic.has_work():
+                nic.step(now, events)
+        for router in self.routers.values():
+            router.step(now, events)
+
+        self._apply_events(events, now)
+        self.cycle += 1
+
+    def run(self, cycles: int) -> None:
+        """Advance the network by ``cycles`` clock cycles."""
+        if cycles < 0:
+            raise ValueError("cycles must be >= 0")
+        for _ in range(cycles):
+            self.step()
+
+    def is_idle(self) -> bool:
+        """True when no flit is buffered or queued anywhere in the network."""
+        return not any(r.has_work() for r in self.routers.values()) and not any(
+            n.has_work() for n in self.nics.values()
+        )
+
+    def run_until_idle(self, *, max_cycles: int = 1_000_000) -> int:
+        """Run until the network drains completely; returns the final cycle.
+
+        Raises ``RuntimeError`` if the network has not drained after
+        ``max_cycles`` (deadlock or livelock would be a simulator bug: XY
+        routing on a mesh is deadlock-free).
+        """
+        start = self.cycle
+        while not self.is_idle():
+            if self.cycle - start > max_cycles:
+                raise RuntimeError(f"network did not drain within {max_cycles} cycles")
+            self.step()
+        return self.cycle
+
+    # ------------------------------------------------------------------
+    # Event application
+    # ------------------------------------------------------------------
+    def _apply_events(self, events: Iterable[tuple], now: int) -> None:
+        timing = self.config.timing
+        for event in events:
+            tag = event[0]
+            if tag == "forward":
+                _, router, out_port, flit = event
+                downstream = self.mesh.downstream(router.coord, out_port)
+                if downstream is None:  # pragma: no cover - defensive
+                    raise RuntimeError(f"flit forwarded off-mesh at {router.coord} {out_port}")
+                delay = timing.link_latency + (
+                    timing.routing_latency if flit.is_head else timing.flit_cycle
+                )
+                self.routers[downstream].accept_flit(out_port, flit, now + delay)
+            elif tag == "eject":
+                _, router, flit = event
+                self.nics[router.coord].receive_flit(flit, now + 1)
+                self.stats.record_flit_hop(flit)
+            elif tag == "credit":
+                _, router, in_port = event
+                if in_port is Port.LOCAL:
+                    self.nics[router.coord].return_injection_credit()
+                else:
+                    upstream = self.mesh.upstream(router.coord, in_port)
+                    if upstream is None:  # pragma: no cover - defensive
+                        raise RuntimeError(f"credit towards a missing neighbour at {router.coord}")
+                    self.routers[upstream].return_credit(in_port)
+            elif tag == "inject":
+                _, nic, flit = event
+                delay = timing.routing_latency if flit.is_head else timing.flit_cycle
+                self.routers[nic.coord].accept_flit(Port.LOCAL, flit, now + delay)
+            else:  # pragma: no cover - defensive
+                raise RuntimeError(f"unknown event {tag!r}")
+
+    # ------------------------------------------------------------------
+    # Introspection helpers (used by tests and experiments)
+    # ------------------------------------------------------------------
+    def buffered_flits(self) -> int:
+        return sum(r.buffered_flits() for r in self.routers.values())
+
+    def total_injected_flits(self) -> int:
+        return sum(n.injected_flits for n in self.nics.values())
+
+    def total_ejected_flits(self) -> int:
+        return sum(n.ejected_flits for n in self.nics.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Network({self.config.describe()}, cycle={self.cycle})"

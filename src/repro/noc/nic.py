@@ -1,0 +1,144 @@
+"""Network interface controller (NIC) model.
+
+The NIC sits between a node (core or memory controller) and its router.  On
+the send side it packetizes messages according to the configured policy
+(regular single-packet or WaP minimum-size slicing), serialises the resulting
+flits and injects them into the router's LOCAL input buffer under credit flow
+control, one flit per cycle.  On the receive side it reassembles packets into
+messages and notifies registered listeners (the manycore protocol handlers,
+the statistics collector) when a message completes.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+from ..core.config import NoCConfig
+from ..core.packetization import MessageDescriptor, Packetizer, make_packetizer
+from ..geometry import Coord
+from .flit import Flit, Message, Packet
+
+__all__ = ["NIC"]
+
+#: Callback invoked when a message completes at this NIC: ``f(message, cycle)``.
+MessageListener = Callable[[Message, int], None]
+
+
+class NIC:
+    """Network interface of one node."""
+
+    def __init__(
+        self,
+        coord: Coord,
+        config: NoCConfig,
+        packetizer: Optional[Packetizer] = None,
+    ):
+        self.coord = coord
+        self.config = config
+        self.packetizer = packetizer if packetizer is not None else make_packetizer(config)
+
+        #: Flits serialised and waiting to enter the router's LOCAL buffer.
+        self._injection_queue: Deque[Flit] = deque()
+        #: Credits towards the router's LOCAL input buffer.
+        self.injection_credits = config.buffer_depth
+        #: Packets of partially received messages: message_id -> tail flits seen.
+        self._reassembly: Dict[int, int] = {}
+        self._expected_packets: Dict[int, int] = {}
+        self._pending_messages: Dict[int, Message] = {}
+
+        self.sent_messages: List[Message] = []
+        self.received_messages: List[Message] = []
+        self._listeners: List[MessageListener] = []
+
+        # Statistics
+        self.injected_flits = 0
+        self.ejected_flits = 0
+
+    # ------------------------------------------------------------------
+    # Send side
+    # ------------------------------------------------------------------
+    def send_message(self, message: Message, now: int) -> None:
+        """Accept a message from the node, packetize it and queue its flits."""
+        if message.source != self.coord:
+            raise ValueError(
+                f"NIC at {self.coord} asked to send a message whose source is {message.source}"
+            )
+        message.created_cycle = now
+        descriptor = MessageDescriptor(payload_flits=message.payload_flits, kind=message.kind)
+        packets = self.packetizer.packetize(descriptor)
+        for pkt_desc in packets:
+            packet = Packet(
+                message=message,
+                size_flits=pkt_desc.flits,
+                index=pkt_desc.index,
+                total=pkt_desc.total,
+            )
+            for flit in packet.make_flits():
+                self._injection_queue.append(flit)
+        self.sent_messages.append(message)
+
+    def pending_injection_flits(self) -> int:
+        return len(self._injection_queue)
+
+    def has_work(self) -> bool:
+        return bool(self._injection_queue)
+
+    def step(self, now: int, events: List[Tuple]) -> None:
+        """Inject at most one flit into the router's LOCAL buffer this cycle."""
+        if not self._injection_queue or self.injection_credits <= 0:
+            return
+        flit = self._injection_queue.popleft()
+        self.injection_credits -= 1
+        message = flit.packet.message
+        if message.injection_cycle is None:
+            message.injection_cycle = now
+        self.injected_flits += 1
+        events.append(("inject", self, flit))
+
+    def return_injection_credit(self) -> None:
+        """The router freed one slot of its LOCAL input buffer."""
+        self.injection_credits += 1
+        if self.injection_credits > self.config.buffer_depth:
+            raise RuntimeError(f"NIC {self.coord}: injection credit overflow")
+
+    # ------------------------------------------------------------------
+    # Receive side
+    # ------------------------------------------------------------------
+    def add_listener(self, listener: MessageListener) -> None:
+        """Register a callback invoked whenever a message completes here."""
+        self._listeners.append(listener)
+
+    def receive_flit(self, flit: Flit, now: int) -> None:
+        """Accept one ejected flit; complete the message when fully received."""
+        self.ejected_flits += 1
+        if not flit.is_tail:
+            return
+        packet = flit.packet
+        message = packet.message
+        if message.destination != self.coord:
+            raise RuntimeError(
+                f"flit for {message.destination} ejected at {self.coord}: routing bug"
+            )
+        mid = message.message_id
+        self._pending_messages[mid] = message
+        self._expected_packets[mid] = packet.total
+        self._reassembly[mid] = self._reassembly.get(mid, 0) + 1
+        if self._reassembly[mid] >= self._expected_packets[mid]:
+            message.completion_cycle = now
+            self.received_messages.append(message)
+            del self._reassembly[mid]
+            del self._expected_packets[mid]
+            del self._pending_messages[mid]
+            for listener in self._listeners:
+                listener(message, now)
+
+    def in_flight_messages(self) -> int:
+        """Messages partially received and still being reassembled."""
+        return len(self._pending_messages)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"NIC({self.coord}, queue={len(self._injection_queue)}, "
+            f"credits={self.injection_credits})"
+        )

@@ -1,0 +1,208 @@
+"""Cycle-accurate wormhole router model.
+
+Each router has up to five ports (``X+``, ``X-``, ``Y+``, ``Y-``, ``LOCAL``)
+with one flit FIFO per *input* port, credit-based flow control towards its
+downstream neighbours, XY route computation and one arbiter per *output*
+port.  Wormhole switching is modelled faithfully:
+
+* only the **head** flit of a packet takes part in switch allocation;
+* once an input port wins an output port it keeps it until the **tail** flit
+  has been forwarded (the wormhole lock), so a blocked packet holds the
+  output port and back-pressures its upstream routers;
+* body/tail flits stream at one flit per cycle per output port, subject to
+  downstream credits.
+
+The arbitration policy is pluggable through :mod:`repro.core.arbitration`:
+plain round-robin for the regular design, the WaW flit-counter weighted
+round-robin for the proposed design.  The router pipeline is abstracted as a
+configurable latency applied to head flits between their arrival at an input
+buffer and their eligibility for allocation (``RouterTiming.routing_latency``),
+which reproduces the zero-load per-hop latency of a multi-stage router
+without simulating every stage.
+
+Routers never move flits directly; they emit *events* (forward, eject,
+credit return) that the :class:`~repro.noc.network.Network` applies at the
+end of the cycle, making the simulation independent of the order in which
+routers are evaluated within a cycle.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..core.arbitration import Arbiter, make_arbiter
+from ..core.config import NoCConfig
+from ..core.weights import WeightTable
+from ..geometry import Coord, Port
+from ..routing import legal_inputs_for_output, xy_output_port
+from .buffer import FlitBuffer
+from .flit import Flit
+
+__all__ = ["Router", "RouterEvent"]
+
+#: Events a router emits during one cycle, applied by the network afterwards:
+#: ``("forward", router, out_port, flit)`` -- flit leaves through a directional output;
+#: ``("eject", router, flit)``             -- flit is delivered to the local NIC;
+#: ``("credit", router, in_port)``         -- one credit is returned upstream of ``in_port``.
+RouterEvent = Tuple
+
+
+class Router:
+    """One wormhole router of the mesh."""
+
+    def __init__(
+        self,
+        coord: Coord,
+        config: NoCConfig,
+        weight_table: Optional[WeightTable] = None,
+    ):
+        self.coord = coord
+        self.config = config
+        self.mesh = config.mesh
+        self.timing = config.timing
+
+        self.input_ports: List[Port] = list(self.mesh.input_ports(coord))
+        self.output_ports: List[Port] = list(self.mesh.output_ports(coord))
+
+        self.buffers: Dict[Port, FlitBuffer] = {
+            port: FlitBuffer(config.buffer_depth, name=f"{coord}:{port.value}")
+            for port in self.input_ports
+        }
+        #: Which output port the packet at the head of each input currently owns.
+        self.input_grant: Dict[Port, Optional[Port]] = {p: None for p in self.input_ports}
+        #: Which input port currently owns each output port (wormhole lock).
+        self.output_owner: Dict[Port, Optional[Port]] = {p: None for p in self.output_ports}
+        #: Credits available towards the downstream buffer of each directional output.
+        self.output_credits: Dict[Port, int] = {
+            port: config.buffer_depth for port in self.output_ports if port is not Port.LOCAL
+        }
+
+        self.arbiters: Dict[Port, Arbiter] = {}
+        for out_port in self.output_ports:
+            candidates = legal_inputs_for_output(self.mesh, coord, out_port)
+            if not candidates:
+                continue
+            weights = (
+                weight_table.arbitration_weights(coord, out_port)
+                if (config.is_waw and weight_table is not None)
+                else None
+            )
+            self.arbiters[out_port] = make_arbiter(
+                candidates, weighted=config.is_waw, weights=weights
+            )
+
+        # Statistics / idle bookkeeping.
+        self.forwarded_flits = 0
+        self._was_idle = True
+
+    # ------------------------------------------------------------------
+    # Buffer interface used by the network when applying events
+    # ------------------------------------------------------------------
+    def accept_flit(self, in_port: Port, flit: Flit, ready_cycle: int) -> None:
+        """Enqueue an incoming flit on ``in_port`` (called by the network)."""
+        flit.ready_cycle = ready_cycle
+        self.buffers[in_port].push(flit)
+
+    def buffered_flits(self) -> int:
+        return sum(len(buf) for buf in self.buffers.values())
+
+    def has_work(self) -> bool:
+        return any(len(buf) for buf in self.buffers.values())
+
+    # ------------------------------------------------------------------
+    # One simulation cycle
+    # ------------------------------------------------------------------
+    def step(self, now: int, events: List[RouterEvent]) -> None:
+        """Evaluate one cycle, appending the resulting events to ``events``."""
+        if not self.has_work():
+            # Nothing buffered anywhere: the WaW credit counters refill while
+            # their output ports sit idle; doing it once when the router goes
+            # quiet is equivalent to calling idle_cycle every empty cycle.
+            if not self._was_idle:
+                for arbiter in self.arbiters.values():
+                    for _ in range(self.config.buffer_depth):
+                        arbiter.idle_cycle()
+                self._was_idle = True
+            return
+        self._was_idle = False
+
+        for out_port in self.output_ports:
+            arbiter = self.arbiters.get(out_port)
+            owner = self.output_owner[out_port]
+            if owner is not None:
+                self._forward_from(owner, out_port, now, events)
+                continue
+            if arbiter is None:
+                continue
+            requesters = self._requesters(out_port, now)
+            if not requesters:
+                arbiter.idle_cycle()
+                continue
+            if out_port is not Port.LOCAL and self.output_credits[out_port] <= 0:
+                # The downstream buffer is full: allocation is deferred, the
+                # arbiter state is left untouched (nobody is served).
+                continue
+            winner = arbiter.grant(requesters)
+            if winner is None:  # pragma: no cover - requesters is non-empty
+                continue
+            self.output_owner[out_port] = winner
+            self.input_grant[winner] = out_port
+            self._forward_from(winner, out_port, now, events)
+
+    # ------------------------------------------------------------------
+    def _requesters(self, out_port: Port, now: int) -> List[Port]:
+        """Input ports whose head-of-line header flit requests ``out_port``."""
+        arbiter = self.arbiters[out_port]
+        requesters: List[Port] = []
+        for in_port in arbiter.candidates:
+            buffer = self.buffers.get(in_port)
+            if buffer is None:
+                continue
+            flit = buffer.peek()
+            if flit is None or not flit.is_head:
+                continue
+            if flit.ready_cycle > now:
+                continue
+            if self.input_grant[in_port] is not None:
+                continue
+            if xy_output_port(self.coord, flit.destination) is not out_port:
+                continue
+            requesters.append(in_port)
+        return requesters
+
+    def _forward_from(
+        self, in_port: Port, out_port: Port, now: int, events: List[RouterEvent]
+    ) -> None:
+        """Move one flit of the packet owning ``out_port`` (if possible)."""
+        buffer = self.buffers[in_port]
+        flit = buffer.peek()
+        if flit is None or flit.ready_cycle > now:
+            return
+        if out_port is not Port.LOCAL and self.output_credits[out_port] <= 0:
+            return
+        flit = buffer.pop()
+        self.forwarded_flits += 1
+        # Return a credit to whoever feeds this input port.
+        events.append(("credit", self, in_port))
+        if out_port is Port.LOCAL:
+            events.append(("eject", self, flit))
+        else:
+            self.output_credits[out_port] -= 1
+            events.append(("forward", self, out_port, flit))
+        if flit.is_tail:
+            self.output_owner[out_port] = None
+            self.input_grant[in_port] = None
+
+    # ------------------------------------------------------------------
+    def return_credit(self, out_port: Port) -> None:
+        """Called by the network when the downstream buffer freed one slot."""
+        if out_port is Port.LOCAL:
+            return
+        self.output_credits[out_port] += 1
+        if self.output_credits[out_port] > self.config.buffer_depth:
+            raise RuntimeError(
+                f"credit overflow on {self.coord} {out_port}: flow-control protocol violation"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Router({self.coord}, {self.buffered_flits()} flits buffered)"

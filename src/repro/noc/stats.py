@@ -1,0 +1,104 @@
+"""Traffic statistics collected during a simulation run."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from statistics import mean
+from typing import Dict, List, Optional, Tuple
+
+from ..geometry import Coord
+from .flit import Flit, Message
+
+__all__ = ["LatencySummary", "NetworkStats"]
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Aggregate latency figures over a set of completed messages."""
+
+    count: int
+    minimum: int
+    average: float
+    maximum: int
+
+    @classmethod
+    def from_values(cls, values: List[int]) -> "LatencySummary":
+        if not values:
+            raise ValueError("no latency samples")
+        return cls(count=len(values), minimum=min(values), average=mean(values), maximum=max(values))
+
+
+@dataclass
+class NetworkStats:
+    """Per-run counters and per-message latency records."""
+
+    sent_messages: int = 0
+    completed_messages: int = 0
+    ejected_flits: int = 0
+    #: Completed messages, in completion order.
+    messages: List[Message] = field(default_factory=list)
+    #: Completed message count per (source, destination) pair.
+    per_flow_completed: Dict[Tuple[Coord, Coord], int] = field(
+        default_factory=lambda: defaultdict(int)
+    )
+
+    # ------------------------------------------------------------------
+    # Recording hooks (wired by the Network)
+    # ------------------------------------------------------------------
+    def record_send(self, message: Message) -> None:
+        self.sent_messages += 1
+
+    def record_message(self, message: Message, cycle: int) -> None:
+        self.completed_messages += 1
+        self.messages.append(message)
+        self.per_flow_completed[(message.source, message.destination)] += 1
+
+    def record_flit_hop(self, flit: Flit) -> None:
+        self.ejected_flits += 1
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def latencies(
+        self,
+        *,
+        kind: Optional[str] = None,
+        source: Optional[Coord] = None,
+        destination: Optional[Coord] = None,
+        network_only: bool = False,
+    ) -> List[int]:
+        """Latency samples of completed messages matching the filters.
+
+        ``network_only`` selects injection-to-ejection latency (excluding NIC
+        queueing); the default is creation-to-completion latency.
+        """
+        values: List[int] = []
+        for message in self.messages:
+            if kind is not None and message.kind != kind:
+                continue
+            if source is not None and message.source != source:
+                continue
+            if destination is not None and message.destination != destination:
+                continue
+            latency = message.network_latency if network_only else message.latency
+            if latency is not None:
+                values.append(latency)
+        return values
+
+    def latency_summary(self, **filters) -> LatencySummary:
+        """Aggregate latency summary over the messages matching ``filters``."""
+        return LatencySummary.from_values(self.latencies(**filters))
+
+    def worst_latency(self, **filters) -> int:
+        """Largest observed latency (used to validate analytical bounds)."""
+        return max(self.latencies(**filters))
+
+    def throughput(self, cycles: int) -> float:
+        """Completed messages per cycle over a run of ``cycles`` cycles."""
+        if cycles <= 0:
+            raise ValueError("cycles must be positive")
+        return self.completed_messages / cycles
+
+    def completed_for_flow(self, source: Coord, destination: Coord) -> int:
+        return self.per_flow_completed.get((source, destination), 0)

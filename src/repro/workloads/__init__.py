@@ -1,0 +1,40 @@
+"""Workloads: EEMBC-like profiles, the 3DPP avionics application, synthetic traffic."""
+
+from .eembc import (
+    AUTOBENCH_PROFILES,
+    autobench_profile,
+    autobench_suite,
+    compute_bound_profiles,
+    memory_bound_profiles,
+)
+from .parallel import ParallelWorkload, Phase, ThreadPhaseWork
+from .pathplanning import (
+    PathPlanningConfig,
+    PathPlanningResult,
+    ThreeDPathPlanner,
+    plan_path,
+)
+from .synthetic import AdversarialCongestionTraffic, HotspotTraffic, UniformRandomTraffic
+from .trace import AccessTrace, MemoryOperation, TaskProfile, TraceItem
+
+__all__ = [
+    "AUTOBENCH_PROFILES",
+    "autobench_profile",
+    "autobench_suite",
+    "compute_bound_profiles",
+    "memory_bound_profiles",
+    "ParallelWorkload",
+    "Phase",
+    "ThreadPhaseWork",
+    "PathPlanningConfig",
+    "PathPlanningResult",
+    "ThreeDPathPlanner",
+    "plan_path",
+    "AdversarialCongestionTraffic",
+    "HotspotTraffic",
+    "UniformRandomTraffic",
+    "AccessTrace",
+    "MemoryOperation",
+    "TaskProfile",
+    "TraceItem",
+]

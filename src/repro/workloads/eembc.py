@@ -1,0 +1,91 @@
+"""EEMBC-Autobench-like single-threaded benchmark profiles.
+
+The paper evaluates WCET estimates with the EEMBC Automotive (Autobench)
+suite [20].  The original binaries are proprietary, so this reproduction
+ships *synthetic profiles* with the same benchmark names and the qualitative
+characterisation reported by Poovey's EEMBC study: instruction counts in the
+hundreds of thousands to millions, and memory intensities ranging from
+almost fully compute-bound kernels (``a2time``, ``basefp``, ``puwmod``) to
+cache-hostile ones (``cacheb``, ``pntrch``, ``matrix``).
+
+What the paper's Table III measures -- per-core WCET of each benchmark under
+the WCET-computation mode, normalised between the two NoC designs -- depends
+only on each benchmark's ratio of compute cycles to NoC round trips, which is
+exactly what these profiles encode.  The absolute instruction counts are
+scaled down so that the companion cycle-accurate simulations stay fast; the
+WCET ratios are unaffected by that scaling (see DESIGN.md §5).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .trace import TaskProfile
+
+__all__ = ["AUTOBENCH_PROFILES", "autobench_suite", "autobench_profile", "memory_bound_profiles", "compute_bound_profiles"]
+
+
+def _profile(
+    name: str,
+    instructions: int,
+    base_cpi: float,
+    misses_per_kinst: float,
+    writebacks_per_kinst: float,
+    description: str,
+) -> TaskProfile:
+    return TaskProfile(
+        name=name,
+        instructions=instructions,
+        base_cpi=base_cpi,
+        misses_per_kinst=misses_per_kinst,
+        writebacks_per_kinst=writebacks_per_kinst,
+        description=description,
+    )
+
+
+#: The sixteen Autobench kernels, from compute-bound to memory-bound.
+AUTOBENCH_PROFILES: Dict[str, TaskProfile] = {
+    p.name: p
+    for p in [
+        _profile("a2time", 480_000, 1.05, 0.9, 0.2, "Angle-to-time conversion; tight arithmetic loop."),
+        _profile("basefp", 420_000, 1.20, 1.1, 0.2, "Basic floating-point arithmetic kernel."),
+        _profile("bitmnp", 360_000, 1.10, 1.4, 0.3, "Bit manipulation; register-resident working set."),
+        _profile("puwmod", 300_000, 1.00, 1.6, 0.3, "Pulse-width modulation control loop."),
+        _profile("rspeed", 280_000, 1.00, 1.8, 0.4, "Road-speed calculation; small lookup tables."),
+        _profile("tblook", 340_000, 1.15, 6.0, 1.0, "Table lookup and interpolation."),
+        _profile("iirflt", 380_000, 1.10, 3.2, 0.6, "IIR filter over streaming samples."),
+        _profile("aifirf", 400_000, 1.10, 3.6, 0.6, "FIR filter over streaming samples."),
+        _profile("canrdr", 320_000, 1.25, 4.5, 0.9, "CAN remote data request handling."),
+        _profile("ttsprk", 360_000, 1.20, 5.2, 1.0, "Tooth-to-spark ignition timing."),
+        _profile("aifftr", 520_000, 1.30, 8.5, 1.6, "Radix-2 FFT over audio frames."),
+        _profile("aiifft", 520_000, 1.30, 8.8, 1.6, "Inverse FFT over audio frames."),
+        _profile("idctrn", 460_000, 1.25, 10.5, 2.1, "Inverse DCT transform."),
+        _profile("matrix", 540_000, 1.35, 14.0, 3.0, "Dense matrix arithmetic; streaming misses."),
+        _profile("pntrch", 300_000, 1.50, 22.0, 2.5, "Pointer chasing across a linked structure."),
+        _profile("cacheb", 340_000, 1.40, 30.0, 6.0, "Cache buster: deliberately cache-hostile strides."),
+    ]
+}
+
+
+def autobench_suite() -> List[TaskProfile]:
+    """All sixteen Autobench-like profiles, in a stable order."""
+    return [AUTOBENCH_PROFILES[name] for name in sorted(AUTOBENCH_PROFILES)]
+
+
+def autobench_profile(name: str) -> TaskProfile:
+    """Look up one profile by benchmark name."""
+    try:
+        return AUTOBENCH_PROFILES[name]
+    except KeyError:
+        known = ", ".join(sorted(AUTOBENCH_PROFILES))
+        raise KeyError(f"unknown Autobench benchmark {name!r}; known: {known}") from None
+
+
+def memory_bound_profiles(threshold_mpki: float = 8.0) -> List[TaskProfile]:
+    """Profiles whose miss density is at or above ``threshold_mpki``."""
+    return [p for p in autobench_suite() if p.misses_per_kinst >= threshold_mpki]
+
+
+def compute_bound_profiles(threshold_mpki: float = 8.0) -> List[TaskProfile]:
+    """Profiles whose miss density is below ``threshold_mpki``."""
+    return [p for p in autobench_suite() if p.misses_per_kinst < threshold_mpki]

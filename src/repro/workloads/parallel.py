@@ -1,0 +1,154 @@
+"""Representation of barrier-synchronised parallel applications.
+
+The paper's parallel case study (the Honeywell 3D path-planning avionics
+application, 3DPP) runs on 16 cores and, like most safety-critical parallel
+codes, proceeds as a sequence of *phases* separated by barriers: within a
+phase every thread works independently on its share of the data; the phase
+ends when the slowest thread finishes.  The WCET estimate of the application
+is therefore the sum over phases of the worst per-thread WCET in that phase
+(plus a fixed barrier cost).
+
+:class:`ParallelWorkload` captures exactly that structure -- per-phase,
+per-thread compute cycles and NoC operation counts -- independently of how
+the numbers were produced (the 3DPP generator measures them by actually
+running the planner; synthetic workloads can construct them directly).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+__all__ = ["ThreadPhaseWork", "Phase", "ParallelWorkload"]
+
+
+@dataclass(frozen=True)
+class ThreadPhaseWork:
+    """Work performed by one thread within one phase."""
+
+    thread_id: int
+    compute_cycles: int
+    loads: int
+    evictions: int = 0
+
+    def __post_init__(self) -> None:
+        if self.thread_id < 0:
+            raise ValueError("thread_id must be >= 0")
+        if min(self.compute_cycles, self.loads, self.evictions) < 0:
+            raise ValueError("work amounts must be non-negative")
+
+    @property
+    def noc_operations(self) -> int:
+        return self.loads + self.evictions
+
+
+@dataclass
+class Phase:
+    """One barrier-delimited phase of a parallel application."""
+
+    name: str
+    work: Dict[int, ThreadPhaseWork] = field(default_factory=dict)
+
+    def add(self, work: ThreadPhaseWork) -> None:
+        if work.thread_id in self.work:
+            raise ValueError(f"thread {work.thread_id} already has work in phase {self.name}")
+        self.work[work.thread_id] = work
+
+    def thread_ids(self) -> List[int]:
+        return sorted(self.work.keys())
+
+    def work_of(self, thread_id: int) -> ThreadPhaseWork:
+        if thread_id not in self.work:
+            return ThreadPhaseWork(thread_id=thread_id, compute_cycles=0, loads=0, evictions=0)
+        return self.work[thread_id]
+
+    @property
+    def total_loads(self) -> int:
+        return sum(w.loads for w in self.work.values())
+
+    @property
+    def total_compute_cycles(self) -> int:
+        return sum(w.compute_cycles for w in self.work.values())
+
+
+@dataclass
+class ParallelWorkload:
+    """A complete parallel application as a sequence of phases."""
+
+    name: str
+    num_threads: int
+    phases: List[Phase] = field(default_factory=list)
+    #: Fixed per-barrier synchronisation cost, in cycles.
+    barrier_cycles: int = 100
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.num_threads < 1:
+            raise ValueError("num_threads must be >= 1")
+        if self.barrier_cycles < 0:
+            raise ValueError("barrier_cycles must be >= 0")
+
+    # ------------------------------------------------------------------
+    def add_phase(self, phase: Phase) -> None:
+        bad = [tid for tid in phase.thread_ids() if tid >= self.num_threads]
+        if bad:
+            raise ValueError(f"phase {phase.name} references unknown thread ids {bad}")
+        self.phases.append(phase)
+
+    def thread_ids(self) -> List[int]:
+        return list(range(self.num_threads))
+
+    # ------------------------------------------------------------------
+    # Aggregate queries
+    # ------------------------------------------------------------------
+    @property
+    def total_loads(self) -> int:
+        return sum(p.total_loads for p in self.phases)
+
+    @property
+    def total_compute_cycles(self) -> int:
+        return sum(p.total_compute_cycles for p in self.phases)
+
+    def thread_loads(self, thread_id: int) -> int:
+        return sum(p.work_of(thread_id).loads for p in self.phases)
+
+    def thread_compute_cycles(self, thread_id: int) -> int:
+        return sum(p.work_of(thread_id).compute_cycles for p in self.phases)
+
+    def summary(self) -> Dict[str, float]:
+        """Human-readable aggregate used by reports and examples."""
+        return {
+            "threads": self.num_threads,
+            "phases": len(self.phases),
+            "total_compute_cycles": self.total_compute_cycles,
+            "total_loads": self.total_loads,
+        }
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def balanced(
+        cls,
+        name: str,
+        *,
+        num_threads: int,
+        phases: int,
+        compute_cycles_per_phase: int,
+        loads_per_phase: int,
+        evictions_per_phase: int = 0,
+        barrier_cycles: int = 100,
+    ) -> "ParallelWorkload":
+        """Synthetic perfectly balanced workload (used by tests/examples)."""
+        workload = cls(name=name, num_threads=num_threads, barrier_cycles=barrier_cycles)
+        for p in range(phases):
+            phase = Phase(name=f"phase{p}")
+            for tid in range(num_threads):
+                phase.add(
+                    ThreadPhaseWork(
+                        thread_id=tid,
+                        compute_cycles=compute_cycles_per_phase,
+                        loads=loads_per_phase,
+                        evictions=evictions_per_phase,
+                    )
+                )
+            workload.add_phase(phase)
+        return workload

@@ -1,0 +1,180 @@
+"""Workload representations consumed by the manycore model.
+
+Two granularities are supported, matching what the paper's experiments need:
+
+* :class:`TaskProfile` -- a *profile-driven* single-threaded workload
+  characterised by instruction count, base CPI and memory-operation
+  densities.  This is how the EEMBC-like benchmarks are described (the
+  original binaries are proprietary; see DESIGN.md §5) and it is all the
+  WCET-computation-mode experiments need, because in that mode every memory
+  operation is charged the same upper-bound delay.
+* :class:`AccessTrace` -- an *address-level* workload: an explicit sequence
+  of memory operations with the compute gaps between them.  The 3D
+  path-planning application and custom user workloads produce these; a
+  private cache turns them into NoC transactions.
+
+Both representations can be converted into the stream of
+:class:`MemoryOperation` items that drives the cycle-accurate core model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, List, Optional, Tuple
+
+__all__ = ["MemoryOperation", "TaskProfile", "AccessTrace", "TraceItem"]
+
+
+@dataclass(frozen=True)
+class MemoryOperation:
+    """One memory operation issued by a core after a compute gap.
+
+    ``compute_cycles`` is the number of cycles the core computes before
+    issuing the operation; ``is_write`` distinguishes stores from loads;
+    ``address`` is optional (profile-driven workloads have no addresses and
+    are treated as always-miss at the configured densities).
+    """
+
+    compute_cycles: int
+    is_write: bool = False
+    address: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.compute_cycles < 0:
+            raise ValueError("compute_cycles must be >= 0")
+
+
+@dataclass(frozen=True)
+class TaskProfile:
+    """Profile-driven characterisation of a single-threaded task.
+
+    ``misses_per_kinst`` counts cache *misses* (i.e. NoC load round trips)
+    per thousand instructions; ``writebacks_per_kinst`` counts dirty-line
+    evictions per thousand instructions.  ``base_cpi`` is the
+    cycles-per-instruction of the task when every memory access hits
+    (everything that is independent of the NoC).
+    """
+
+    name: str
+    instructions: int
+    base_cpi: float = 1.0
+    misses_per_kinst: float = 5.0
+    writebacks_per_kinst: float = 1.0
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.instructions < 1:
+            raise ValueError("instructions must be >= 1")
+        if self.base_cpi <= 0:
+            raise ValueError("base_cpi must be positive")
+        if self.misses_per_kinst < 0 or self.writebacks_per_kinst < 0:
+            raise ValueError("densities must be non-negative")
+
+    # ------------------------------------------------------------------
+    @property
+    def compute_cycles(self) -> int:
+        """Execution cycles spent outside the memory hierarchy."""
+        return round(self.instructions * self.base_cpi)
+
+    @property
+    def memory_loads(self) -> int:
+        """Number of load round trips that reach the NoC."""
+        return round(self.instructions * self.misses_per_kinst / 1000.0)
+
+    @property
+    def evictions(self) -> int:
+        """Number of dirty-line write-backs that reach the NoC."""
+        return round(self.instructions * self.writebacks_per_kinst / 1000.0)
+
+    @property
+    def noc_operations(self) -> int:
+        return self.memory_loads + self.evictions
+
+    def scaled(self, factor: float) -> "TaskProfile":
+        """A shorter/longer variant of the same task (same densities)."""
+        if factor <= 0:
+            raise ValueError("factor must be positive")
+        return TaskProfile(
+            name=self.name,
+            instructions=max(1, round(self.instructions * factor)),
+            base_cpi=self.base_cpi,
+            misses_per_kinst=self.misses_per_kinst,
+            writebacks_per_kinst=self.writebacks_per_kinst,
+            description=self.description,
+        )
+
+    # ------------------------------------------------------------------
+    def operations(self) -> Iterator[MemoryOperation]:
+        """Evenly spread the NoC operations over the task's compute cycles.
+
+        The cycle-accurate core model consumes this stream; evictions are
+        interleaved with loads at the profile's relative rate.
+        """
+        loads = self.memory_loads
+        evictions = self.evictions
+        total_ops = loads + evictions
+        if total_ops == 0:
+            return iter(())
+        gap = max(1, self.compute_cycles // total_ops)
+
+        def _generate() -> Iterator[MemoryOperation]:
+            # Spread the evictions evenly among the operations using integer
+            # arithmetic so that exactly ``evictions`` writes are produced.
+            for i in range(total_ops):
+                is_write = (
+                    (i + 1) * evictions // total_ops > i * evictions // total_ops
+                )
+                yield MemoryOperation(compute_cycles=gap, is_write=is_write)
+
+        return _generate()
+
+
+@dataclass(frozen=True)
+class TraceItem:
+    """One record of an address-level trace."""
+
+    compute_cycles: int
+    address: int
+    is_write: bool = False
+
+    def __post_init__(self) -> None:
+        if self.compute_cycles < 0 or self.address < 0:
+            raise ValueError("invalid trace item")
+
+
+@dataclass
+class AccessTrace:
+    """An explicit address-level memory trace of one thread."""
+
+    name: str
+    items: List[TraceItem] = field(default_factory=list)
+
+    def append(self, compute_cycles: int, address: int, *, is_write: bool = False) -> None:
+        self.items.append(TraceItem(compute_cycles, address, is_write))
+
+    def extend(self, items: Iterable[TraceItem]) -> None:
+        self.items.extend(items)
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __iter__(self) -> Iterator[TraceItem]:
+        return iter(self.items)
+
+    @property
+    def total_compute_cycles(self) -> int:
+        return sum(item.compute_cycles for item in self.items)
+
+    def operations(self) -> Iterator[MemoryOperation]:
+        """View the trace as the operation stream consumed by the core model."""
+        for item in self.items:
+            yield MemoryOperation(
+                compute_cycles=item.compute_cycles,
+                is_write=item.is_write,
+                address=item.address,
+            )
+
+    def footprint_bytes(self, line_bytes: int = 64) -> int:
+        """Number of distinct cache lines touched, in bytes."""
+        lines = {item.address // line_bytes for item in self.items}
+        return len(lines) * line_bytes

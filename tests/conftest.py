@@ -1,0 +1,50 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import regular_mesh_config, waw_wap_config
+from repro.geometry import Coord, Mesh
+
+
+@pytest.fixture
+def mesh4() -> Mesh:
+    """A 4x4 mesh, the workhorse of most unit tests."""
+    return Mesh(4, 4)
+
+
+@pytest.fixture
+def mesh8() -> Mesh:
+    """The evaluated 8x8 mesh."""
+    return Mesh(8, 8)
+
+
+@pytest.fixture
+def memory_node() -> Coord:
+    """The memory-controller node of the evaluated system."""
+    return Coord(0, 0)
+
+
+@pytest.fixture
+def regular4():
+    """Regular design point on a 4x4 mesh."""
+    return regular_mesh_config(4)
+
+
+@pytest.fixture
+def waw4():
+    """WaW+WaP design point on a 4x4 mesh."""
+    return waw_wap_config(4)
+
+
+@pytest.fixture
+def regular8():
+    """Regular design point on the evaluated 8x8 mesh."""
+    return regular_mesh_config(8)
+
+
+@pytest.fixture
+def waw8():
+    """WaW+WaP design point on the evaluated 8x8 mesh."""
+    return waw_wap_config(8)

@@ -1,0 +1,78 @@
+"""Tests for the router area model (:mod:`repro.core.area`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.area import AreaParameters, noc_area, router_area, waw_wap_overhead
+from repro.core.config import regular_mesh_config, waw_wap_config
+
+
+class TestAreaParameters:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AreaParameters(flit_width_bits=0)
+        with pytest.raises(ValueError):
+            AreaParameters(ports=1)
+        with pytest.raises(ValueError):
+            AreaParameters(max_weight=0)
+
+    def test_from_config(self):
+        params = AreaParameters.from_config(waw_wap_config(8, buffer_depth=6))
+        assert params.buffer_depth_flits == 6
+        assert params.flit_width_bits == 132
+        assert params.max_weight == 64
+
+
+class TestRouterArea:
+    def test_baseline_has_no_extras(self):
+        breakdown = router_area(AreaParameters())
+        assert breakdown.waw_arbiter_extra == 0
+        assert breakdown.wap_nic_extra == 0
+        assert breakdown.total == breakdown.baseline_total > 0
+
+    def test_buffers_and_crossbar_dominate(self):
+        """A sanity property of any credible NoC area decomposition."""
+        breakdown = router_area(AreaParameters())
+        dominant = breakdown.input_buffers + breakdown.crossbar
+        assert dominant > 0.5 * breakdown.baseline_total
+
+    def test_extras_are_small_relative_to_baseline(self):
+        breakdown = router_area(AreaParameters(), with_waw=True, with_wap=True)
+        assert breakdown.waw_arbiter_extra < 0.1 * breakdown.baseline_total
+        assert breakdown.wap_nic_extra < 0.02 * breakdown.baseline_total
+
+    def test_area_grows_with_buffer_depth_and_width(self):
+        small = router_area(AreaParameters(buffer_depth_flits=2, flit_width_bits=64)).total
+        large = router_area(AreaParameters(buffer_depth_flits=8, flit_width_bits=256)).total
+        assert large > small
+
+    def test_as_dict_totals_are_consistent(self):
+        breakdown = router_area(AreaParameters(), with_waw=True, with_wap=True)
+        data = breakdown.as_dict()
+        parts = sum(v for k, v in data.items() if k != "total")
+        assert data["total"] == pytest.approx(parts)
+
+
+class TestOverheadClaim:
+    def test_paper_claim_under_five_percent(self):
+        """Section III: the area increase incurred in the NoC is below 5 %."""
+        assert waw_wap_overhead(waw_wap_config(8)) < 0.05
+
+    def test_overhead_positive(self):
+        assert waw_wap_overhead(waw_wap_config(8)) > 0
+
+    def test_overhead_shrinks_with_wider_links(self):
+        """The WaW counters do not scale with the datapath, so relative cost drops."""
+        narrow = AreaParameters(flit_width_bits=64)
+        wide = AreaParameters(flit_width_bits=256)
+        def rel(params):
+            base = router_area(params).total
+            enhanced = router_area(params, with_waw=True, with_wap=True).total
+            return enhanced / base - 1.0
+        assert rel(wide) < rel(narrow)
+
+    def test_noc_area_scales_with_node_count(self):
+        small = noc_area(regular_mesh_config(2))
+        large = noc_area(regular_mesh_config(8))
+        assert large == pytest.approx(small * 16)

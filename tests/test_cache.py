@@ -1,0 +1,114 @@
+"""Tests for the private cache model (:mod:`repro.manycore.cache`)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.manycore.cache import Cache, CacheConfig
+
+
+class TestCacheConfig:
+    def test_defaults(self):
+        config = CacheConfig()
+        assert config.num_sets == 16 * 1024 // (64 * 4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=100, line_bytes=64, associativity=4)
+        with pytest.raises(ValueError):
+            CacheConfig(associativity=0)
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=0)
+
+
+class TestCacheBehaviour:
+    def test_first_access_misses_then_hits(self):
+        cache = Cache()
+        first = cache.access(0x1000)
+        assert not first.hit
+        second = cache.access(0x1000)
+        assert second.hit
+        assert cache.misses == 1 and cache.hits == 1
+
+    def test_same_line_different_offsets_hit(self):
+        cache = Cache()
+        cache.access(0x2000)
+        assert cache.access(0x2004).hit
+        assert cache.access(0x203F).hit
+        assert cache.access(0x2040).hit is False  # next line
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(ValueError):
+            Cache().access(-1)
+
+    def test_eviction_of_clean_line_causes_no_writeback(self):
+        config = CacheConfig(size_bytes=256, line_bytes=64, associativity=1)  # 4 sets
+        cache = Cache(config)
+        cache.access(0x0000)            # set 0
+        result = cache.access(0x0400)   # same set, evicts the clean line
+        assert not result.hit and not result.writeback
+
+    def test_eviction_of_dirty_line_causes_writeback(self):
+        config = CacheConfig(size_bytes=256, line_bytes=64, associativity=1)
+        cache = Cache(config)
+        cache.access(0x0000, is_write=True)
+        result = cache.access(0x0400)
+        assert result.writeback
+        assert result.evicted_line == 0x0000
+        assert cache.writebacks == 1
+
+    def test_lru_replacement_order(self):
+        config = CacheConfig(size_bytes=512, line_bytes=64, associativity=2)  # 4 sets
+        cache = Cache(config)
+        set_stride = 64 * config.num_sets
+        a, b, c = 0x0000, set_stride, 2 * set_stride  # all map to set 0
+        cache.access(a)
+        cache.access(b)
+        cache.access(a)          # a is now most recently used
+        cache.access(c)          # evicts b (LRU)
+        assert cache.access(a).hit
+        assert not cache.access(b).hit
+
+    def test_write_marks_line_dirty_even_on_hit(self):
+        config = CacheConfig(size_bytes=256, line_bytes=64, associativity=1)
+        cache = Cache(config)
+        cache.access(0x0000)                 # clean fill
+        cache.access(0x0000, is_write=True)  # dirty on hit
+        result = cache.access(0x0400)        # evict
+        assert result.writeback
+
+    def test_statistics_and_reset(self):
+        cache = Cache()
+        for address in range(0, 64 * 10, 64):
+            cache.access(address)
+        assert cache.accesses == 10
+        assert cache.miss_rate == 1.0
+        cache.reset_statistics()
+        assert cache.accesses == 0 and cache.miss_rate == 0.0
+
+    @given(
+        addresses=st.lists(st.integers(0, 1 << 16), min_size=1, max_size=300),
+        writes=st.lists(st.booleans(), min_size=1, max_size=300),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_counters_are_consistent(self, addresses, writes):
+        cache = Cache(CacheConfig(size_bytes=1024, line_bytes=64, associativity=2))
+        for address, is_write in zip(addresses, writes):
+            cache.access(address, is_write=is_write)
+        assert cache.hits + cache.misses == cache.accesses
+        assert cache.writebacks <= cache.misses  # a writeback needs an eviction
+
+    @given(addresses=st.lists(st.integers(0, 1 << 14), min_size=1, max_size=200))
+    @settings(max_examples=30, deadline=None)
+    def test_repeated_pass_over_small_footprint_hits(self, addresses):
+        """A footprint smaller than the cache fully hits on the second pass."""
+        cache = Cache(CacheConfig(size_bytes=16 * 1024, line_bytes=64, associativity=4))
+        footprint = [a % (8 * 1024) for a in addresses]  # 8 KiB < 16 KiB
+        for address in footprint:
+            cache.access(address)
+        hits_before = cache.hits
+        for address in footprint:
+            assert cache.access(address).hit
+        assert cache.hits == hits_before + len(footprint)

@@ -1,0 +1,136 @@
+"""Unit and property tests for :mod:`repro.core.flows`."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.flows import Flow, FlowSet
+from repro.geometry import Coord, Mesh, Port
+
+
+class TestFlow:
+    def test_rejects_self_flow(self):
+        with pytest.raises(ValueError):
+            Flow(Coord(1, 1), Coord(1, 1))
+
+    def test_hop_count(self):
+        assert Flow(Coord(0, 0), Coord(3, 2)).hop_count() == 6
+
+    def test_route_uses_mesh(self):
+        mesh = Mesh(4, 4)
+        route = Flow(Coord(3, 3), Coord(0, 0)).route(mesh)
+        assert route[0].router == Coord(3, 3)
+        assert route[-1].router == Coord(0, 0)
+
+
+class TestFlowSetConstruction:
+    def test_all_to_all_count(self):
+        mesh = Mesh(3, 3)
+        flows = FlowSet.all_to_all(mesh)
+        assert len(flows) == 9 * 8
+
+    def test_all_to_one_count_and_destination(self):
+        mesh = Mesh(4, 4)
+        flows = FlowSet.all_to_one(mesh, Coord(0, 0))
+        assert len(flows) == 15
+        assert flows.destinations() == {Coord(0, 0)}
+        assert Coord(0, 0) not in flows.sources()
+
+    def test_one_to_all(self):
+        mesh = Mesh(3, 2)
+        flows = FlowSet.one_to_all(mesh, Coord(0, 0))
+        assert len(flows) == 5
+        assert flows.sources() == {Coord(0, 0)}
+
+    def test_from_pairs_and_deduplication(self):
+        mesh = Mesh(2, 2)
+        pairs = [(Coord(0, 1), Coord(0, 0)), (Coord(0, 1), Coord(0, 0)), (Coord(1, 1), Coord(0, 0))]
+        flows = FlowSet.from_pairs(mesh, pairs)
+        assert len(flows) == 2
+
+    def test_rejects_flows_outside_mesh(self):
+        mesh = Mesh(2, 2)
+        with pytest.raises(ValueError):
+            FlowSet.from_pairs(mesh, [(Coord(0, 0), Coord(5, 5))])
+
+    def test_container_protocol(self):
+        mesh = Mesh(2, 2)
+        flows = FlowSet.all_to_one(mesh, Coord(0, 0))
+        assert Flow(Coord(1, 1), Coord(0, 0)) in flows
+        assert len(list(iter(flows))) == len(flows)
+
+
+class TestPortAccounting:
+    def test_every_flow_crosses_its_own_local_ports(self):
+        mesh = Mesh(3, 3)
+        flows = FlowSet.all_to_one(mesh, Coord(0, 0))
+        for flow in flows:
+            assert flow in flows.flows_through_input(flow.source, Port.LOCAL)
+            assert flow in flows.flows_through_output(Coord(0, 0), Port.LOCAL)
+
+    def test_all_to_one_ejection_port_carries_all_flows(self):
+        mesh = Mesh(4, 4)
+        flows = FlowSet.all_to_one(mesh, Coord(0, 0))
+        assert flows.port_flow_count(Coord(0, 0), Port.LOCAL, "out") == 15
+        assert flows.port_source_count(Coord(0, 0), Port.LOCAL, "out") == 15
+
+    def test_row_traffic_enters_destination_via_xminus(self):
+        mesh = Mesh(4, 4)
+        flows = FlowSet.all_to_one(mesh, Coord(0, 0))
+        # Traffic from the same row (y=0) arrives at (0,0) travelling in -x,
+        # i.e. through the X- input; the other 12 flows arrive through Y-.
+        assert flows.port_flow_count(Coord(0, 0), Port.XMINUS, "in") == 3
+        assert flows.port_flow_count(Coord(0, 0), Port.YMINUS, "in") == 12
+
+    def test_source_count_vs_flow_count_all_to_all(self):
+        mesh = Mesh(3, 3)
+        flows = FlowSet.all_to_all(mesh)
+        # At router (1,1), the X+ input carries the X-phase traffic of the
+        # single preceding node of its row, whatever the destination: one
+        # source, several flows.
+        assert flows.port_source_count(Coord(1, 1), Port.XPLUS, "in") == 1
+        assert flows.port_flow_count(Coord(1, 1), Port.XPLUS, "in") > 1
+
+    def test_direction_argument_validated(self):
+        mesh = Mesh(2, 2)
+        flows = FlowSet.all_to_all(mesh)
+        with pytest.raises(ValueError):
+            flows.port_flow_count(Coord(0, 0), Port.LOCAL, "sideways")
+
+    def test_max_link_load_all_to_one(self):
+        mesh = Mesh(4, 4)
+        flows = FlowSet.all_to_one(mesh, Coord(0, 0))
+        # The most loaded port is the ejection port of the destination.
+        assert flows.max_link_load() == 15
+
+    @given(w=st.integers(2, 5), h=st.integers(2, 5))
+    @settings(max_examples=20, deadline=None)
+    def test_paper_closed_forms_match_all_to_all_source_counts(self, w, h):
+        """The upstream-source counts match the paper's Y/PME closed forms."""
+        mesh = Mesh(w, h)
+        flows = FlowSet.all_to_all(mesh)
+        for router in mesh.nodes():
+            x, y = router.x, router.y
+            assert flows.port_source_count(router, Port.LOCAL, "in") == 1
+            assert flows.port_source_count(router, Port.LOCAL, "out") == w * h - 1
+            if mesh.upstream(router, Port.YPLUS) is not None:
+                assert flows.port_source_count(router, Port.YPLUS, "in") == w * y
+            if mesh.upstream(router, Port.XPLUS) is not None:
+                assert flows.port_source_count(router, Port.XPLUS, "in") == x
+
+    @given(w=st.integers(2, 4), h=st.integers(2, 4))
+    @settings(max_examples=15, deadline=None)
+    def test_flow_conservation_at_each_router(self, w, h):
+        """Flows entering a router equal flows leaving it (no flow vanishes)."""
+        mesh = Mesh(w, h)
+        flows = FlowSet.all_to_all(mesh)
+        for router in mesh.nodes():
+            entering = sum(
+                flows.port_flow_count(router, port, "in") for port in mesh.input_ports(router)
+            )
+            leaving = sum(
+                flows.port_flow_count(router, port, "out") for port in mesh.output_ports(router)
+            )
+            assert entering == leaving

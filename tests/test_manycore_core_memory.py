@@ -1,0 +1,184 @@
+"""Tests for the core and memory-controller models (:mod:`repro.manycore`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import regular_mesh_config, waw_wap_config
+from repro.geometry import Coord
+from repro.manycore.cache import Cache, CacheConfig
+from repro.manycore.core import Core
+from repro.manycore.memory import MemoryController
+from repro.manycore.system import ManycoreSystem
+from repro.noc.network import Network
+from repro.workloads.trace import AccessTrace, MemoryOperation, TaskProfile
+
+
+def operations(n_loads: int, gap: int = 5):
+    return iter(MemoryOperation(compute_cycles=gap) for _ in range(n_loads))
+
+
+class TestMemoryController:
+    def test_replies_to_loads(self):
+        config = regular_mesh_config(3)
+        network = Network(config)
+        mc = MemoryController(network)
+        network.send(Coord(2, 2), Coord(0, 0), 1, kind="load")
+        for _ in range(300):
+            mc.step(network.cycle)
+            network.step()
+        assert mc.served_loads == 1
+        replies = network.stats.latencies(kind="reply")
+        assert len(replies) == 1
+
+    def test_acknowledges_evictions(self):
+        config = regular_mesh_config(3)
+        network = Network(config)
+        mc = MemoryController(network)
+        network.send(Coord(1, 1), Coord(0, 0), 4, kind="eviction")
+        for _ in range(300):
+            mc.step(network.cycle)
+            network.step()
+        assert mc.served_evictions == 1
+        assert len(network.stats.latencies(kind="eviction_ack")) == 1
+
+    def test_ignores_unknown_kinds(self):
+        config = regular_mesh_config(3)
+        network = Network(config)
+        mc = MemoryController(network)
+        network.send(Coord(1, 1), Coord(0, 0), 1, kind="synthetic")
+        for _ in range(200):
+            mc.step(network.cycle)
+            network.step()
+        assert mc.served_loads == 0 and not mc.has_work()
+
+    def test_service_latency_delays_reply(self):
+        from repro.core.ubd import MemoryTiming
+
+        config = regular_mesh_config(3)
+        fast_net = Network(config)
+        MemoryController(fast_net, timing=MemoryTiming(service_latency=0))
+        slow_net = Network(config)
+        MemoryController(slow_net, timing=MemoryTiming(service_latency=80))
+
+        def round_trip(network):
+            network.send(Coord(2, 2), Coord(0, 0), 1, kind="load")
+            for _ in range(600):
+                for listener_owner in ():
+                    pass
+                # MemoryController registered itself; step it via closure:
+                network.step()
+            return network
+
+        # Use ManycoreSystem-free manual stepping with controller stored above.
+        # (The controllers are already listening; we just need to pump them.)
+        # Re-create to keep controllers accessible:
+        fast_net = Network(config)
+        fast_mc = MemoryController(fast_net, timing=MemoryTiming(service_latency=0))
+        fast_net.send(Coord(2, 2), Coord(0, 0), 1, kind="load")
+        slow_net = Network(config)
+        slow_mc = MemoryController(slow_net, timing=MemoryTiming(service_latency=80))
+        slow_net.send(Coord(2, 2), Coord(0, 0), 1, kind="load")
+        for _ in range(600):
+            fast_mc.step(fast_net.cycle)
+            fast_net.step()
+            slow_mc.step(slow_net.cycle)
+            slow_net.step()
+        fast_reply = fast_net.stats.latencies(kind="reply")
+        slow_reply = slow_net.stats.latencies(kind="reply")
+        assert fast_reply and slow_reply
+        assert slow_net.stats.messages[-1].completion_cycle > fast_net.stats.messages[-1].completion_cycle
+
+
+class TestCore:
+    def test_core_cannot_sit_on_memory_controller(self):
+        config = regular_mesh_config(3)
+        network = Network(config)
+        with pytest.raises(ValueError):
+            Core(Coord(0, 0), network, operations(1))
+
+    def test_profile_core_completes_and_counts_loads(self):
+        config = regular_mesh_config(3)
+        system = ManycoreSystem(config)
+        profile = TaskProfile(name="toy", instructions=2_000, misses_per_kinst=5.0,
+                              writebacks_per_kinst=1.0)
+        core = system.add_profile_core(Coord(2, 2), profile)
+        system.run_to_completion(max_cycles=100_000)
+        assert core.done
+        assert core.issued_loads == profile.memory_loads
+        assert core.issued_evictions == profile.evictions
+        assert core.completed_loads == core.issued_loads
+        assert core.elapsed_cycles > profile.compute_cycles  # stalls add time
+
+    def test_core_blocks_on_loads_but_not_on_evictions(self):
+        config = regular_mesh_config(3)
+        system = ManycoreSystem(config)
+        ops = [
+            MemoryOperation(compute_cycles=2, is_write=False),
+            MemoryOperation(compute_cycles=2, is_write=True),
+        ]
+        core = system.add_core(Coord(1, 1), iter(ops), name="mixed")
+        system.run_to_completion(max_cycles=50_000)
+        assert core.issued_loads == 1
+        assert core.issued_evictions == 1
+        assert core.stall_cycles > 0  # waited for the load reply
+
+    def test_trace_core_uses_cache_to_filter_traffic(self):
+        config = regular_mesh_config(3)
+        system = ManycoreSystem(config)
+        trace = AccessTrace(name="hot-loop")
+        for rep in range(4):
+            for address in range(0, 4 * 64, 64):
+                trace.append(compute_cycles=1, address=address)
+        core = system.add_trace_core(Coord(2, 1), trace,
+                                     cache_config=CacheConfig(size_bytes=1024))
+        system.run_to_completion(max_cycles=100_000)
+        # 4 distinct lines: only the first pass misses, later passes hit.
+        assert core.issued_loads == 4
+        assert core.cache.hits == 12
+
+    def test_done_core_does_not_issue_more_traffic(self):
+        config = regular_mesh_config(3)
+        system = ManycoreSystem(config)
+        core = system.add_core(Coord(1, 1), operations(2), name="short")
+        system.run_to_completion(max_cycles=50_000)
+        issued = core.issued_loads
+        system.run(50)
+        assert core.issued_loads == issued
+
+
+class TestManycoreSystem:
+    def test_duplicate_core_rejected(self):
+        system = ManycoreSystem(regular_mesh_config(3))
+        system.add_core(Coord(1, 1), operations(1))
+        with pytest.raises(ValueError):
+            system.add_core(Coord(1, 1), operations(1))
+
+    def test_makespan_requires_completion(self):
+        system = ManycoreSystem(regular_mesh_config(3))
+        system.add_core(Coord(1, 1), operations(5))
+        with pytest.raises(RuntimeError):
+            system.makespan()
+        system.run_to_completion(max_cycles=50_000)
+        assert system.makespan() > 0
+        assert Coord(1, 1) in system.per_core_cycles()
+
+    def test_waw_and_regular_systems_complete_same_workload(self):
+        """Both design points execute identical traffic; only timing differs."""
+        results = {}
+        for name, config in (("regular", regular_mesh_config(3)), ("waw", waw_wap_config(3))):
+            system = ManycoreSystem(config)
+            cores = []
+            for node in [Coord(1, 0), Coord(2, 1), Coord(1, 2)]:
+                cores.append(system.add_core(node, operations(10), name=str(node)))
+            cycles = system.run_to_completion(max_cycles=200_000)
+            results[name] = cycles
+            assert all(c.completed_loads == 10 for c in cores)
+        # Average performance of the two designs stays in the same ballpark.
+        assert 0.5 < results["waw"] / results["regular"] < 2.0
+
+    def test_run_to_completion_timeout(self):
+        system = ManycoreSystem(regular_mesh_config(3))
+        system.add_core(Coord(1, 1), operations(50))
+        with pytest.raises(RuntimeError):
+            system.run_to_completion(max_cycles=3)

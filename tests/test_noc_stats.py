@@ -1,0 +1,78 @@
+"""Tests for the traffic statistics collector (:mod:`repro.noc.stats`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.geometry import Coord
+from repro.noc.flit import Message
+from repro.noc.stats import LatencySummary, NetworkStats
+
+
+def completed_message(src, dst, created, injected, completed, kind="data"):
+    message = Message(source=src, destination=dst, payload_flits=1, kind=kind)
+    message.created_cycle = created
+    message.injection_cycle = injected
+    message.completion_cycle = completed
+    return message
+
+
+class TestLatencySummary:
+    def test_from_values(self):
+        summary = LatencySummary.from_values([4, 10, 7])
+        assert summary.count == 3
+        assert summary.minimum == 4
+        assert summary.maximum == 10
+        assert summary.average == pytest.approx(7.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            LatencySummary.from_values([])
+
+
+class TestNetworkStats:
+    def setup_method(self):
+        self.stats = NetworkStats()
+        self.m1 = completed_message(Coord(1, 0), Coord(0, 0), 0, 2, 12, kind="load")
+        self.m2 = completed_message(Coord(2, 2), Coord(0, 0), 5, 6, 45, kind="load")
+        self.m3 = completed_message(Coord(0, 0), Coord(2, 2), 10, 11, 30, kind="reply")
+        for message in (self.m1, self.m2, self.m3):
+            self.stats.record_send(message)
+            self.stats.record_message(message, message.completion_cycle)
+
+    def test_counters(self):
+        assert self.stats.sent_messages == 3
+        assert self.stats.completed_messages == 3
+
+    def test_latency_filters_by_kind(self):
+        assert sorted(self.stats.latencies(kind="load")) == [12, 40]
+        assert self.stats.latencies(kind="reply") == [20]
+
+    def test_latency_filters_by_endpoints(self):
+        assert self.stats.latencies(source=Coord(2, 2)) == [40]
+        assert self.stats.latencies(destination=Coord(2, 2)) == [20]
+
+    def test_network_only_latency(self):
+        assert sorted(self.stats.latencies(kind="load", network_only=True)) == [10, 39]
+
+    def test_worst_latency_and_summary(self):
+        assert self.stats.worst_latency() == 40
+        summary = self.stats.latency_summary(kind="load")
+        assert summary.count == 2 and summary.maximum == 40
+
+    def test_per_flow_counts(self):
+        assert self.stats.completed_for_flow(Coord(1, 0), Coord(0, 0)) == 1
+        assert self.stats.completed_for_flow(Coord(3, 3), Coord(0, 0)) == 0
+
+    def test_throughput(self):
+        assert self.stats.throughput(100) == pytest.approx(0.03)
+        with pytest.raises(ValueError):
+            self.stats.throughput(0)
+
+    def test_in_flight_messages_are_not_counted(self):
+        pending = Message(source=Coord(1, 1), destination=Coord(0, 0), payload_flits=1)
+        self.stats.record_send(pending)
+        assert self.stats.sent_messages == 4
+        assert self.stats.completed_messages == 3
+        # Its latency is undefined, so it must not appear in the samples.
+        assert len(self.stats.latencies()) == 3

@@ -1,0 +1,155 @@
+"""Tests for the 3D path-planning application (:mod:`repro.workloads.pathplanning`).
+
+Beyond exercising the workload generator, these tests check that the planner
+is a *correct* path planner: the returned path must be connected, obstacle
+free and consistent with the wavefront distance field.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.manycore.cache import CacheConfig
+from repro.workloads.pathplanning import (
+    PathPlanningConfig,
+    ThreeDPathPlanner,
+    plan_path,
+)
+
+#: A small configuration keeping individual tests fast.
+SMALL = PathPlanningConfig(
+    dimensions=(10, 10, 4),
+    obstacle_density=0.15,
+    seed=7,
+    num_threads=4,
+    cycles_per_cell_update=20,
+    cycles_per_neighbour_check=5,
+    cache=CacheConfig(size_bytes=2 * 1024),
+    sweeps_per_phase=3,
+)
+
+
+class TestConfigValidation:
+    def test_dimension_validation(self):
+        with pytest.raises(ValueError):
+            PathPlanningConfig(dimensions=(1, 5, 5))
+
+    def test_density_validation(self):
+        with pytest.raises(ValueError):
+            PathPlanningConfig(obstacle_density=0.95)
+
+    def test_thread_and_phase_validation(self):
+        with pytest.raises(ValueError):
+            PathPlanningConfig(num_threads=0)
+        with pytest.raises(ValueError):
+            PathPlanningConfig(sweeps_per_phase=0)
+
+    def test_default_endpoints(self):
+        config = PathPlanningConfig(dimensions=(8, 8, 4))
+        assert config.resolved_start == (0, 0, 0)
+        assert config.resolved_goal == (7, 7, 3)
+
+
+class TestPlannerCorrectness:
+    def setup_method(self):
+        self.result = plan_path(SMALL)
+
+    def test_goal_reached_on_default_map(self):
+        assert self.result.reached
+        assert self.result.path_length > 0
+
+    def test_path_endpoints(self):
+        assert self.result.path[0] == SMALL.resolved_start
+        assert self.result.path[-1] == SMALL.resolved_goal
+
+    def test_path_is_connected_and_in_bounds(self):
+        dims = SMALL.dimensions
+        for a, b in zip(self.result.path, self.result.path[1:]):
+            assert sum(abs(x - y) for x, y in zip(a, b)) == 1
+            assert all(0 <= c < d for c, d in zip(b, dims))
+
+    def test_path_avoids_obstacles(self):
+        planner = ThreeDPathPlanner(SMALL)
+        result = planner.run()
+        for cell in result.path:
+            assert not planner.obstacles.get(cell, True)
+
+    def test_path_length_matches_distance_field(self):
+        """The wavefront distance equals the number of steps of the path."""
+        assert self.result.distance == self.result.path_length - 1
+
+    def test_determinism(self):
+        again = plan_path(SMALL)
+        assert again.path == self.result.path
+        assert again.workload.total_loads == self.result.workload.total_loads
+
+    def test_different_seed_changes_the_map(self):
+        other = plan_path(PathPlanningConfig(
+            dimensions=SMALL.dimensions, obstacle_density=SMALL.obstacle_density,
+            seed=SMALL.seed + 1, num_threads=SMALL.num_threads,
+            cache=SMALL.cache, sweeps_per_phase=SMALL.sweeps_per_phase,
+        ))
+        assert other.path != self.result.path or other.sweeps != self.result.sweeps
+
+
+class TestWorkloadGeneration:
+    def setup_method(self):
+        self.result = plan_path(SMALL)
+        self.workload = self.result.workload
+
+    def test_workload_structure(self):
+        assert self.workload.num_threads == SMALL.num_threads
+        names = [phase.name for phase in self.workload.phases]
+        assert names[0] == "init"
+        assert names[-1] == "backtrack"
+        assert any(name.startswith("wave") for name in names)
+
+    def test_workload_has_traffic_and_compute(self):
+        assert self.workload.total_loads > 0
+        assert self.workload.total_compute_cycles > 0
+
+    def test_per_thread_misses_recorded(self):
+        assert set(self.result.per_thread_misses) == set(range(SMALL.num_threads))
+        assert sum(self.result.per_thread_misses.values()) > 0
+
+    def test_every_thread_contributes_to_init(self):
+        init = self.workload.phases[0]
+        assert all(init.work_of(tid).loads > 0 for tid in range(SMALL.num_threads))
+
+    def test_owner_thread_partitions_the_grid(self):
+        planner = ThreeDPathPlanner(SMALL)
+        owners = {planner.owner_thread((x, y, z))
+                  for x in range(SMALL.dimensions[0])
+                  for y in range(SMALL.dimensions[1])
+                  for z in range(SMALL.dimensions[2])}
+        assert owners == set(range(SMALL.num_threads))
+
+    def test_cell_addresses_are_unique(self):
+        planner = ThreeDPathPlanner(SMALL)
+        addresses = set()
+        for x in range(SMALL.dimensions[0]):
+            for y in range(SMALL.dimensions[1]):
+                for z in range(SMALL.dimensions[2]):
+                    addresses.add(planner.cell_address((x, y, z)))
+        assert len(addresses) == 10 * 10 * 4
+
+    @given(seed=st.integers(0, 40))
+    @settings(max_examples=8, deadline=None)
+    def test_any_seed_produces_a_consistent_result(self, seed):
+        config = PathPlanningConfig(
+            dimensions=(8, 8, 3), obstacle_density=0.2, seed=seed, num_threads=4,
+            cycles_per_cell_update=10, cycles_per_neighbour_check=3,
+            cache=CacheConfig(size_bytes=1024), sweeps_per_phase=4,
+        )
+        result = plan_path(config)
+        if result.reached:
+            assert result.path[0] == config.resolved_start
+            assert result.path[-1] == config.resolved_goal
+            assert result.distance == len(result.path) - 1
+        else:
+            assert result.path == []
+        # Whatever the map, the workload model must be well formed.
+        assert result.workload.num_threads == 4
+        assert len(result.workload.phases) >= 2

@@ -1,0 +1,201 @@
+"""Tests for placements and the WCET-computation mode (:mod:`repro.manycore`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import regular_mesh_config, waw_wap_config
+from repro.core.ubd import UBDTable
+from repro.geometry import Coord, Mesh
+from repro.manycore.placement import (
+    Placement,
+    block_placement,
+    diagonal_placement,
+    row_placement,
+    standard_placements,
+)
+from repro.manycore.wcet_mode import (
+    wcet_of_parallel_workload,
+    wcet_of_profile,
+)
+from repro.workloads.parallel import ParallelWorkload, Phase, ThreadPhaseWork
+from repro.workloads.trace import TaskProfile
+
+
+class TestPlacement:
+    def test_assign_and_lookup(self):
+        placement = Placement("test")
+        placement.assign(0, Coord(1, 1))
+        assert placement.node_of(0) == Coord(1, 1)
+        assert placement.thread_ids() == [0]
+        assert len(placement) == 1
+
+    def test_duplicate_thread_or_node_rejected(self):
+        placement = Placement("test")
+        placement.assign(0, Coord(1, 1))
+        with pytest.raises(ValueError):
+            placement.assign(0, Coord(2, 2))
+        with pytest.raises(ValueError):
+            placement.assign(1, Coord(1, 1))
+
+    def test_unknown_thread_lookup(self):
+        with pytest.raises(KeyError):
+            Placement("empty").node_of(3)
+
+    def test_validate_checks_mesh_and_forbidden_nodes(self):
+        mesh = Mesh(4, 4)
+        placement = Placement("bad")
+        placement.assign(0, Coord(0, 0))
+        with pytest.raises(ValueError):
+            placement.validate(mesh, forbidden=[Coord(0, 0)])
+        outside = Placement("outside")
+        outside.assign(0, Coord(9, 9))
+        with pytest.raises(ValueError):
+            outside.validate(mesh)
+
+    def test_average_distance(self):
+        placement = Placement("two")
+        placement.assign(0, Coord(1, 0))
+        placement.assign(1, Coord(3, 0))
+        assert placement.average_distance_to(Coord(0, 0)) == 2.0
+
+
+class TestPlacementConstructors:
+    def test_block_placement(self):
+        mesh = Mesh(8, 8)
+        placement = block_placement("block", mesh, origin=Coord(1, 0), width=4, height=4)
+        assert len(placement) == 16
+        assert all(1 <= node.x <= 4 and 0 <= node.y <= 3 for node in placement.nodes())
+
+    def test_block_placement_skip(self):
+        mesh = Mesh(8, 8)
+        placement = block_placement(
+            "block", mesh, origin=Coord(0, 0), width=2, height=2, skip=[Coord(0, 0)]
+        )
+        assert len(placement) == 3
+        assert Coord(0, 0) not in placement.nodes()
+
+    def test_row_placement(self):
+        mesh = Mesh(8, 8)
+        placement = row_placement("rows", mesh, rows=[3, 4])
+        assert len(placement) == 16
+        assert all(node.y in (3, 4) for node in placement.nodes())
+
+    def test_diagonal_placement(self):
+        mesh = Mesh(8, 8)
+        placement = diagonal_placement("diag", mesh, count=16, skip=[Coord(0, 0)])
+        assert len(placement) == 16
+        assert Coord(0, 0) not in placement.nodes()
+        assert len(set(placement.nodes())) == 16
+
+    def test_standard_placements_properties(self):
+        mesh = Mesh(8, 8)
+        placements = standard_placements(mesh)
+        assert set(placements) == {"P0", "P1", "P2", "P3"}
+        for placement in placements.values():
+            assert len(placement) == 16
+            placement.validate(mesh, forbidden=[Coord(0, 0)])
+        # P0 sits closest to the memory controller, the others further away.
+        distances = {
+            name: p.average_distance_to(Coord(0, 0)) for name, p in placements.items()
+        }
+        assert distances["P0"] == min(distances.values())
+
+    def test_standard_placements_require_large_mesh(self):
+        with pytest.raises(ValueError):
+            standard_placements(Mesh(4, 4))
+
+
+class TestProfileWCET:
+    def test_wcet_formula(self):
+        config = regular_mesh_config(4)
+        table = UBDTable(config)
+        profile = TaskProfile(
+            name="toy", instructions=10_000, base_cpi=1.0,
+            misses_per_kinst=10.0, writebacks_per_kinst=2.0,
+        )
+        core = Coord(2, 2)
+        estimate = wcet_of_profile(profile, core, table)
+        entry = table.entry(core)
+        assert estimate.compute_cycles == 10_000
+        assert estimate.load_cycles == 100 * entry.load_ubd
+        assert estimate.eviction_cycles == 20 * entry.eviction_ubd
+        assert estimate.total == (
+            estimate.compute_cycles + estimate.load_cycles + estimate.eviction_cycles
+        )
+        assert 0 < estimate.noc_fraction < 1
+
+    def test_memory_bound_profile_has_higher_noc_fraction(self):
+        config = regular_mesh_config(4)
+        table = UBDTable(config)
+        light = TaskProfile(name="light", instructions=10_000, misses_per_kinst=1.0)
+        heavy = TaskProfile(name="heavy", instructions=10_000, misses_per_kinst=30.0)
+        core = Coord(3, 3)
+        assert (
+            wcet_of_profile(heavy, core, table).noc_fraction
+            > wcet_of_profile(light, core, table).noc_fraction
+        )
+
+    def test_far_core_has_higher_wcet_on_regular_mesh(self):
+        config = regular_mesh_config(8)
+        table = UBDTable(config)
+        profile = TaskProfile(name="toy", instructions=50_000, misses_per_kinst=10.0)
+        near = wcet_of_profile(profile, Coord(1, 0), table).total
+        far = wcet_of_profile(profile, Coord(7, 7), table).total
+        assert far > 10 * near
+
+
+class TestParallelWCET:
+    def _workload(self, threads=4):
+        workload = ParallelWorkload(name="toy", num_threads=threads, barrier_cycles=50)
+        phase = Phase(name="p0")
+        for tid in range(threads):
+            phase.add(ThreadPhaseWork(tid, compute_cycles=1_000, loads=10 * (tid + 1)))
+        workload.add_phase(phase)
+        return workload
+
+    def _placement(self, threads=4):
+        placement = Placement("near")
+        nodes = [Coord(1, 0), Coord(2, 0), Coord(1, 1), Coord(2, 1), Coord(3, 0), Coord(3, 1)]
+        for tid in range(threads):
+            placement.assign(tid, nodes[tid])
+        return placement
+
+    def test_phase_wcet_is_the_slowest_thread(self):
+        config = regular_mesh_config(4)
+        table = UBDTable(config)
+        workload = self._workload()
+        placement = self._placement()
+        estimate = wcet_of_parallel_workload(workload, placement, table)
+        phase = estimate.phases[0]
+        assert phase.critical_cycles == max(phase.per_thread.values())
+        assert estimate.total == phase.critical_cycles + workload.barrier_cycles
+        assert len(estimate.phase_totals()) == 1
+
+    def test_missing_thread_in_placement_rejected(self):
+        config = regular_mesh_config(4)
+        table = UBDTable(config)
+        workload = self._workload(threads=5)
+        placement = self._placement(threads=4)
+        with pytest.raises(ValueError):
+            wcet_of_parallel_workload(workload, placement, table)
+
+    def test_placement_on_memory_controller_rejected(self):
+        config = regular_mesh_config(4)
+        table = UBDTable(config)
+        workload = self._workload(threads=1)
+        placement = Placement("bad")
+        placement.assign(0, Coord(0, 0))
+        with pytest.raises(ValueError):
+            wcet_of_parallel_workload(workload, placement, table)
+
+    def test_waw_wap_reduces_parallel_wcet_for_distant_placement(self):
+        regular_table = UBDTable(regular_mesh_config(8, max_packet_flits=1))
+        waw_table = UBDTable(waw_wap_config(8, max_packet_flits=1))
+        workload = self._workload(threads=4)
+        placement = Placement("far")
+        for tid, node in enumerate([Coord(7, 7), Coord(6, 7), Coord(7, 6), Coord(6, 6)]):
+            placement.assign(tid, node)
+        regular = wcet_of_parallel_workload(workload, placement, regular_table).total
+        waw = wcet_of_parallel_workload(workload, placement, waw_table).total
+        assert waw * 10 < regular

@@ -1,0 +1,76 @@
+"""Tests for the report formatting helpers (:mod:`repro.analysis.reporting`)."""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import (
+    format_grid,
+    format_key_values,
+    format_table,
+    format_title,
+)
+from repro.geometry import Coord
+
+
+class TestFormatTitle:
+    def test_underline_length(self):
+        rendered = format_title("Hello")
+        lines = rendered.splitlines()
+        assert lines[0] == "Hello"
+        assert lines[1] == "====="
+
+    def test_custom_underline(self):
+        assert format_title("ab", underline="-").splitlines()[1] == "--"
+
+
+class TestFormatTable:
+    def test_empty(self):
+        assert format_table([]) == "(no rows)"
+
+    def test_alignment_and_content(self):
+        rows = [
+            {"name": "regular", "max": 4698111, "mean": 50516.79},
+            {"name": "WaW+WaP", "max": 310, "mean": 189.0},
+        ]
+        rendered = format_table(rows)
+        lines = rendered.splitlines()
+        assert "name" in lines[0] and "max" in lines[0]
+        assert "regular" in rendered and "WaW+WaP" in rendered
+        # Large floats fall back to scientific notation, plain ones do not.
+        assert "189.00" in rendered
+
+    def test_column_selection(self):
+        rows = [{"a": 1, "b": 2}]
+        rendered = format_table(rows, columns=["b"])
+        assert "a" not in rendered.splitlines()[0]
+
+    def test_missing_cells_render_empty(self):
+        rows = [{"a": 1, "b": 2}, {"a": 3}]
+        rendered = format_table(rows)
+        assert rendered.count("\n") == 3
+
+
+class TestFormatGrid:
+    def test_grid_with_coord_keys(self):
+        values = {Coord(x, y): x + y / 10 for x in range(3) for y in range(2)}
+        del values[Coord(0, 0)]
+        rendered = format_grid(values, 3, 2)
+        lines = rendered.splitlines()
+        assert len(lines) == 3  # header + 2 rows
+        assert "--" in lines[1]  # the removed cell
+        assert "y\\x" in lines[0]
+
+    def test_grid_with_tuple_keys(self):
+        values = {(x, y): 1.0 for x in range(2) for y in range(2)}
+        rendered = format_grid(values, 2, 2)
+        assert rendered.count("1.0000") == 4
+
+
+class TestFormatKeyValues:
+    def test_empty(self):
+        assert format_key_values({}) == "(empty)"
+
+    def test_alignment(self):
+        rendered = format_key_values({"short": 1, "a much longer key": 2.5})
+        lines = rendered.splitlines()
+        assert lines[0].index(":") == lines[1].index(":")
+        assert "2.500" in rendered

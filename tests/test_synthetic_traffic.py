@@ -1,0 +1,107 @@
+"""Tests for the synthetic traffic generators (:mod:`repro.workloads.synthetic`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import regular_mesh_config, waw_wap_config
+from repro.geometry import Coord, Mesh
+from repro.noc.network import Network
+from repro.workloads.synthetic import (
+    AdversarialCongestionTraffic,
+    HotspotTraffic,
+    UniformRandomTraffic,
+)
+
+
+class TestUniformRandomTraffic:
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            UniformRandomTraffic(Mesh(3, 3), injection_rate=1.5)
+        with pytest.raises(ValueError):
+            UniformRandomTraffic(Mesh(3, 3), injection_rate=0.1, payload_flits=0)
+
+    def test_drive_injects_and_delivers(self):
+        config = regular_mesh_config(3)
+        network = Network(config)
+        traffic = UniformRandomTraffic(config.mesh, injection_rate=0.05, seed=3)
+        sent = traffic.drive(network, cycles=200)
+        network.run_until_idle(max_cycles=50_000)
+        assert sent
+        assert network.stats.completed_messages == len(sent)
+        assert all(m.source != m.destination for m in sent)
+
+    def test_determinism_given_seed(self):
+        config = regular_mesh_config(3)
+        def run(seed):
+            network = Network(config)
+            traffic = UniformRandomTraffic(config.mesh, injection_rate=0.05, seed=seed)
+            sent = traffic.drive(network, cycles=100)
+            return [(m.source, m.destination) for m in sent]
+        assert run(11) == run(11)
+        assert run(11) != run(12)
+
+    def test_zero_rate_sends_nothing(self):
+        config = regular_mesh_config(3)
+        network = Network(config)
+        traffic = UniformRandomTraffic(config.mesh, injection_rate=0.0)
+        assert traffic.drive(network, cycles=50) == []
+
+
+class TestHotspotTraffic:
+    def test_all_messages_target_the_hotspot(self):
+        config = regular_mesh_config(3)
+        network = Network(config)
+        traffic = HotspotTraffic(config.mesh, hotspot=Coord(0, 0), injection_rate=0.1, seed=5)
+        sent = traffic.drive(network, cycles=100)
+        network.run_until_idle(max_cycles=50_000)
+        assert sent
+        assert all(m.destination == Coord(0, 0) for m in sent)
+        assert all(m.source != Coord(0, 0) for m in sent)
+
+    def test_hotspot_must_be_in_mesh(self):
+        with pytest.raises(ValueError):
+            HotspotTraffic(Mesh(3, 3), hotspot=Coord(5, 5), injection_rate=0.1)
+
+
+class TestAdversarialCongestionTraffic:
+    def test_parameter_validation(self):
+        mesh = Mesh(4, 4)
+        with pytest.raises(ValueError):
+            AdversarialCongestionTraffic(mesh, Coord(1, 1), Coord(1, 1))
+        with pytest.raises(ValueError):
+            AdversarialCongestionTraffic(
+                mesh, Coord(1, 1), Coord(0, 0), background_outstanding=0
+            )
+
+    def test_interfering_sources_share_the_victim_path(self):
+        mesh = Mesh(4, 4)
+        traffic = AdversarialCongestionTraffic(mesh, Coord(3, 3), Coord(0, 0))
+        interferers = traffic.interfering_sources()
+        # Everybody heading to (0,0) eventually shares the ejection port.
+        assert len(interferers) == 14
+        assert Coord(3, 3) not in interferers
+        assert Coord(0, 0) not in interferers
+
+    def test_probes_complete_under_congestion_on_both_designs(self):
+        for config in (regular_mesh_config(3), waw_wap_config(3)):
+            network = Network(config)
+            traffic = AdversarialCongestionTraffic(
+                config.mesh, Coord(2, 2), Coord(0, 0),
+                background_outstanding=2, probe_period=100,
+            )
+            probes, background = traffic.drive(network, cycles=400)
+            assert probes and background
+            assert all(p.completion_cycle is not None for p in probes)
+
+    def test_worst_probe_latency_exceeds_zero_load(self):
+        config = regular_mesh_config(3)
+        network = Network(config)
+        traffic = AdversarialCongestionTraffic(
+            config.mesh, Coord(2, 2), Coord(0, 0), background_outstanding=3, probe_period=100
+        )
+        worst = traffic.worst_probe_latency(network, cycles=400)
+        quiet = Network(config)
+        probe = quiet.send(Coord(2, 2), Coord(0, 0), 1)
+        quiet.run_until_idle(max_cycles=2_000)
+        assert worst > probe.network_latency

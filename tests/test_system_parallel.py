@@ -1,0 +1,108 @@
+"""System-level tests: parallel workloads on the full manycore simulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import regular_mesh_config, waw_wap_config
+from repro.geometry import Coord
+from repro.manycore.placement import Placement
+from repro.manycore.system import ManycoreSystem
+from repro.workloads.parallel import ParallelWorkload, Phase, ThreadPhaseWork
+
+
+def near_placement(config, num_threads):
+    mc = config.memory_controller
+    nodes = sorted(
+        (c for c in config.mesh.nodes() if c != mc), key=lambda c: (c.manhattan(mc), c.y, c.x)
+    )
+    placement = Placement("near")
+    for tid in range(num_threads):
+        placement.assign(tid, nodes[tid])
+    return placement
+
+
+class TestParallelWorkloadOnSimulator:
+    def test_balanced_workload_completes_on_both_designs(self):
+        workload = ParallelWorkload.balanced(
+            "kernel", num_threads=4, phases=2,
+            compute_cycles_per_phase=500, loads_per_phase=15, evictions_per_phase=3,
+        )
+        makespans = {}
+        for label, config in (("regular", regular_mesh_config(3)), ("waw", waw_wap_config(3))):
+            system = ManycoreSystem(config)
+            cores = system.add_parallel_workload(workload, near_placement(config, 4))
+            makespans[label] = system.run_to_completion(max_cycles=500_000)
+            for core in cores:
+                assert core.done
+                assert core.issued_loads == workload.thread_loads(0)
+        # Same work, comparable time on both designs (average case).
+        assert 0.5 < makespans["waw"] / makespans["regular"] < 2.0
+
+    def test_imbalanced_workload_critical_thread_dominates(self):
+        workload = ParallelWorkload(name="imbalanced", num_threads=3, barrier_cycles=0)
+        phase = Phase(name="p0")
+        phase.add(ThreadPhaseWork(0, compute_cycles=200, loads=2))
+        phase.add(ThreadPhaseWork(1, compute_cycles=200, loads=2))
+        phase.add(ThreadPhaseWork(2, compute_cycles=5_000, loads=40))
+        workload.add_phase(phase)
+        config = regular_mesh_config(3)
+        system = ManycoreSystem(config)
+        cores = system.add_parallel_workload(workload, near_placement(config, 3))
+        system.run_to_completion(max_cycles=500_000)
+        per_core = system.per_core_cycles()
+        heavy = per_core[cores[2].node]
+        assert heavy > 4 * per_core[cores[0].node]
+        assert system.makespan() >= heavy
+
+    def test_barrier_serialisation_adds_compute(self):
+        workload = ParallelWorkload.balanced(
+            "kernel", num_threads=2, phases=3,
+            compute_cycles_per_phase=100, loads_per_phase=5, barrier_cycles=500,
+        )
+        config = regular_mesh_config(3)
+        plain = ManycoreSystem(config)
+        plain.add_parallel_workload(workload, near_placement(config, 2))
+        no_barrier_cycles = plain.run_to_completion(max_cycles=200_000)
+
+        serialised = ManycoreSystem(config)
+        serialised.add_parallel_workload(
+            workload, near_placement(config, 2), per_phase_serialisation=True
+        )
+        with_barrier_cycles = serialised.run_to_completion(max_cycles=200_000)
+        assert with_barrier_cycles > no_barrier_cycles + 2 * 500
+
+    def test_memory_controller_served_all_requests(self):
+        workload = ParallelWorkload.balanced(
+            "kernel", num_threads=4, phases=1,
+            compute_cycles_per_phase=200, loads_per_phase=10, evictions_per_phase=2,
+        )
+        config = waw_wap_config(3)
+        system = ManycoreSystem(config)
+        system.add_parallel_workload(workload, near_placement(config, 4))
+        system.run_to_completion(max_cycles=500_000)
+        assert system.memory_controller.served_loads == 4 * 10
+        assert system.memory_controller.served_evictions == 4 * 2
+        # The network fully drained: nothing is left buffered anywhere.
+        assert system.network.buffered_flits() == 0
+
+
+class TestPathPlanningOnSimulator:
+    def test_small_3dpp_runs_on_the_cycle_accurate_platform(self):
+        """End-to-end: the avionics workload actually executes on the simulator."""
+        from repro.manycore.cache import CacheConfig
+        from repro.workloads.pathplanning import PathPlanningConfig, plan_path
+
+        result = plan_path(
+            PathPlanningConfig(
+                dimensions=(6, 6, 3), num_threads=4, cycles_per_cell_update=10,
+                cycles_per_neighbour_check=3, cache=CacheConfig(size_bytes=1024),
+                sweeps_per_phase=5, obstacle_density=0.1,
+            )
+        )
+        config = waw_wap_config(4)
+        system = ManycoreSystem(config)
+        system.add_parallel_workload(result.workload, near_placement(config, 4))
+        cycles = system.run_to_completion(max_cycles=2_000_000)
+        assert cycles > 0
+        assert system.memory_controller.served_loads > 0

@@ -1,0 +1,167 @@
+"""Tests for the workload layer: traces, profiles, EEMBC suite, parallel workloads."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.eembc import (
+    AUTOBENCH_PROFILES,
+    autobench_profile,
+    autobench_suite,
+    compute_bound_profiles,
+    memory_bound_profiles,
+)
+from repro.workloads.parallel import ParallelWorkload, Phase, ThreadPhaseWork
+from repro.workloads.trace import AccessTrace, MemoryOperation, TaskProfile, TraceItem
+
+
+class TestTaskProfile:
+    def test_derived_quantities(self):
+        profile = TaskProfile(
+            name="toy", instructions=100_000, base_cpi=1.5,
+            misses_per_kinst=10.0, writebacks_per_kinst=2.0,
+        )
+        assert profile.compute_cycles == 150_000
+        assert profile.memory_loads == 1_000
+        assert profile.evictions == 200
+        assert profile.noc_operations == 1_200
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TaskProfile(name="x", instructions=0)
+        with pytest.raises(ValueError):
+            TaskProfile(name="x", instructions=10, base_cpi=0)
+        with pytest.raises(ValueError):
+            TaskProfile(name="x", instructions=10, misses_per_kinst=-1)
+
+    def test_scaled_preserves_densities(self):
+        profile = TaskProfile(name="toy", instructions=200_000, misses_per_kinst=8.0)
+        shorter = profile.scaled(0.25)
+        assert shorter.instructions == 50_000
+        assert shorter.misses_per_kinst == 8.0
+        with pytest.raises(ValueError):
+            profile.scaled(0)
+
+    def test_operations_stream_matches_counts(self):
+        profile = TaskProfile(
+            name="toy", instructions=50_000, misses_per_kinst=4.0, writebacks_per_kinst=1.0,
+        )
+        ops = list(profile.operations())
+        assert len(ops) == profile.noc_operations
+        assert sum(op.is_write for op in ops) == profile.evictions
+        assert all(op.compute_cycles >= 1 for op in ops)
+
+    def test_operations_empty_for_pure_compute(self):
+        profile = TaskProfile(name="pure", instructions=1_000, misses_per_kinst=0.0,
+                              writebacks_per_kinst=0.0)
+        assert list(profile.operations()) == []
+
+    @given(
+        instructions=st.integers(1_000, 500_000),
+        mpki=st.floats(0.0, 40.0, allow_nan=False),
+        wpki=st.floats(0.0, 10.0, allow_nan=False),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_operation_stream_invariants(self, instructions, mpki, wpki):
+        profile = TaskProfile(
+            name="gen", instructions=instructions,
+            misses_per_kinst=mpki, writebacks_per_kinst=wpki,
+        )
+        ops = list(profile.operations())
+        assert len(ops) == profile.memory_loads + profile.evictions
+        assert sum(op.is_write for op in ops) == profile.evictions
+
+
+class TestAccessTrace:
+    def test_append_and_iterate(self):
+        trace = AccessTrace(name="t")
+        trace.append(3, 0x100)
+        trace.append(2, 0x140, is_write=True)
+        assert len(trace) == 2
+        assert trace.total_compute_cycles == 5
+        ops = list(trace.operations())
+        assert ops[0].address == 0x100 and not ops[0].is_write
+        assert ops[1].is_write
+
+    def test_footprint(self):
+        trace = AccessTrace(name="t")
+        for address in (0, 8, 64, 72, 128):
+            trace.append(1, address)
+        assert trace.footprint_bytes(64) == 3 * 64
+
+    def test_item_validation(self):
+        with pytest.raises(ValueError):
+            TraceItem(compute_cycles=-1, address=0)
+        with pytest.raises(ValueError):
+            MemoryOperation(compute_cycles=-2)
+
+
+class TestAutobenchSuite:
+    def test_suite_has_sixteen_benchmarks(self):
+        suite = autobench_suite()
+        assert len(suite) == 16
+        assert len({p.name for p in suite}) == 16
+
+    def test_lookup_by_name(self):
+        assert autobench_profile("cacheb").name == "cacheb"
+        with pytest.raises(KeyError):
+            autobench_profile("doom3")
+
+    def test_characterisation_spread(self):
+        """The suite spans compute-bound to memory-bound kernels."""
+        densities = [p.misses_per_kinst for p in autobench_suite()]
+        assert min(densities) < 2.0
+        assert max(densities) > 20.0
+
+    def test_memory_vs_compute_partition(self):
+        memory = memory_bound_profiles()
+        compute = compute_bound_profiles()
+        assert len(memory) + len(compute) == 16
+        assert {p.name for p in memory}.isdisjoint({p.name for p in compute})
+        assert "cacheb" in {p.name for p in memory}
+        assert "a2time" in {p.name for p in compute}
+
+    def test_profiles_have_descriptions(self):
+        assert all(p.description for p in AUTOBENCH_PROFILES.values())
+
+
+class TestParallelWorkload:
+    def test_phase_bookkeeping(self):
+        phase = Phase(name="p")
+        phase.add(ThreadPhaseWork(0, compute_cycles=100, loads=5, evictions=1))
+        phase.add(ThreadPhaseWork(1, compute_cycles=50, loads=2))
+        assert phase.thread_ids() == [0, 1]
+        assert phase.total_loads == 7
+        assert phase.total_compute_cycles == 150
+        assert phase.work_of(2).loads == 0  # missing threads contribute nothing
+        with pytest.raises(ValueError):
+            phase.add(ThreadPhaseWork(0, compute_cycles=1, loads=1))
+
+    def test_workload_validation(self):
+        with pytest.raises(ValueError):
+            ParallelWorkload(name="bad", num_threads=0)
+        workload = ParallelWorkload(name="w", num_threads=2)
+        phase = Phase(name="p")
+        phase.add(ThreadPhaseWork(5, compute_cycles=1, loads=1))
+        with pytest.raises(ValueError):
+            workload.add_phase(phase)
+
+    def test_aggregates(self):
+        workload = ParallelWorkload.balanced(
+            "bal", num_threads=4, phases=3, compute_cycles_per_phase=100,
+            loads_per_phase=10, evictions_per_phase=2,
+        )
+        assert len(workload.phases) == 3
+        assert workload.total_loads == 4 * 3 * 10
+        assert workload.thread_loads(0) == 30
+        assert workload.thread_compute_cycles(2) == 300
+        summary = workload.summary()
+        assert summary["threads"] == 4 and summary["phases"] == 3
+
+    def test_thread_phase_work_validation(self):
+        with pytest.raises(ValueError):
+            ThreadPhaseWork(-1, compute_cycles=1, loads=1)
+        with pytest.raises(ValueError):
+            ThreadPhaseWork(0, compute_cycles=-1, loads=1)
