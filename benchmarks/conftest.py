@@ -1,7 +1,8 @@
 """Shared configuration for the benchmark harness.
 
-Every benchmark regenerates one table or figure of the paper (see DESIGN.md
-for the experiment index).  The benchmarks both *measure* the runtime of the
+Every benchmark regenerates one table or figure of the paper (see the
+experiment index in README.md or ``repro-experiments list``).  The
+benchmarks both *measure* the runtime of the
 reproduction pipeline and *assert* the headline qualitative claims, so that
 ``pytest benchmarks/ --benchmark-only`` doubles as an end-to-end regeneration
 of the paper's evaluation.

@@ -1,7 +1,7 @@
 """Reproduction of *Improving Performance Guarantees in Wormhole Mesh NoC
 Designs* (Panic et al., DATE 2016).
 
-The package is organised in five layers:
+The package is organised in six layers:
 
 * :mod:`repro.geometry` / :mod:`repro.routing` -- mesh coordinates, ports and
   XY routing, shared by everything else;
@@ -14,22 +14,43 @@ The package is organised in five layers:
   (cores, caches, memory controller, placements) and its workloads
   (EEMBC-like profiles, the 3D path-planning avionics application, synthetic
   traffic);
-* :mod:`repro.experiments` -- one driver per table/figure of the paper.
+* :mod:`repro.experiments` -- one registered driver per table/figure of the
+  paper;
+* :mod:`repro.api` -- the public surface: the fluent :class:`Scenario`
+  builder and :func:`sweep` grid expansion, the uniform
+  :class:`ExperimentResult` return type, the decorator-based experiment
+  registry and the cache-aware parallel :class:`BatchEngine`.
 
 Quick start::
 
-    from repro import regular_mesh_config, waw_wap_config, make_wctt_analysis
+    from repro import Scenario, get_experiment, make_wctt_analysis
     from repro.geometry import Coord
 
-    regular = make_wctt_analysis(regular_mesh_config(8, max_packet_flits=4))
-    print(regular.wctt_packet(Coord(7, 7), Coord(0, 0), packet_flits=1))
+    regular = Scenario.mesh(8).regular().max_packet_flits(4).build()
+    print(make_wctt_analysis(regular).wctt_packet(Coord(7, 7), Coord(0, 0), packet_flits=1))
 
-See README.md for installation and the full tour, DESIGN.md for the system
-inventory and EXPERIMENTS.md for the paper-vs-measured comparison.
+    result = get_experiment("table2").run(quick=True)
+    print(result.to_json())
+
+See README.md for installation, the experiment index and the full tour.
 """
 
 from .geometry import Coord, Mesh, Port
 from .routing import Hop, xy_output_port, xy_route
+from .api import (
+    BatchEngine,
+    BatchJob,
+    BatchResult,
+    ExperimentResult,
+    ExperimentSpec,
+    Scenario,
+    ScenarioError,
+    UnknownExperimentError,
+    experiment,
+    get_experiment,
+    list_experiments,
+    sweep,
+)
 from .core import (
     ArbitrationPolicy,
     Flow,
@@ -82,5 +103,17 @@ __all__ = [
     "ManycoreSystem",
     "Placement",
     "standard_placements",
+    "BatchEngine",
+    "BatchJob",
+    "BatchResult",
+    "ExperimentResult",
+    "ExperimentSpec",
+    "Scenario",
+    "ScenarioError",
+    "UnknownExperimentError",
+    "experiment",
+    "get_experiment",
+    "list_experiments",
+    "sweep",
     "__version__",
 ]

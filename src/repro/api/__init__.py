@@ -1,0 +1,57 @@
+"""Public experiment API: scenarios, results, registry and batch engine.
+
+This package is the front door for running the reproduction
+programmatically:
+
+* :class:`Scenario` / :func:`sweep` -- fluent, validated construction of NoC
+  design points and parameter-grid expansion;
+* :class:`ExperimentResult` -- the uniform, exportable return type of every
+  experiment ``run()`` (JSON/CSV views, paper reference, parameters);
+* :func:`experiment` / :func:`get_experiment` / :func:`list_experiments` --
+  the decorator-based registry that drives discovery, the CLI and the
+  engine;
+* :class:`BatchEngine` -- cache-aware batch execution with multiprocessing
+  fan-out and JSON/CSV export.
+
+Quick start::
+
+    from repro.api import BatchEngine, BatchJob, Scenario, get_experiment
+
+    config = Scenario.mesh(8).waw_wap().max_packet_flits(1).build()
+    result = get_experiment("table2").run(quick=True)
+    print(result.to_json())
+
+    engine = BatchEngine(jobs=4, cache_dir=".repro-cache")
+    results = engine.sweep("table2", size=(2, 3, 4))
+"""
+
+from .engine import BatchEngine, BatchJob, BatchResult, config_hash
+from .registry import (
+    ExperimentSpec,
+    UnknownExperimentError,
+    discover,
+    experiment,
+    get_experiment,
+    list_experiments,
+)
+from .results import ExperimentResult, ResultEncoder, unwrap
+from .scenario import Scenario, ScenarioError, sweep
+
+__all__ = [
+    "BatchEngine",
+    "BatchJob",
+    "BatchResult",
+    "config_hash",
+    "ExperimentSpec",
+    "UnknownExperimentError",
+    "discover",
+    "experiment",
+    "get_experiment",
+    "list_experiments",
+    "ExperimentResult",
+    "ResultEncoder",
+    "unwrap",
+    "Scenario",
+    "ScenarioError",
+    "sweep",
+]

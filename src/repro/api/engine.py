@@ -1,0 +1,317 @@
+"""Batch execution engine: parallel fan-out, config-hash caching, export.
+
+The engine runs registered experiments described by :class:`BatchJob`
+values.  Each job is keyed by a deterministic hash of its canonicalised
+``(experiment, params, quick)`` triple plus the package version; results are
+cached under that hash (in memory and, when ``cache_dir`` is given, as JSON
+files on disk), so re-running a sweep only computes the design points that
+changed.
+
+Cache misses fan out over a :mod:`multiprocessing` pool when ``jobs > 1``;
+results travel back as pickled :class:`ExperimentResult` objects, so the
+caller can still render the full textual reports for freshly computed jobs.
+Disk cache hits are rebuilt from their JSON form (rows only).
+"""
+
+from __future__ import annotations
+
+import csv
+import hashlib
+import io
+import json
+import os
+import time
+from dataclasses import dataclass, field, fields, is_dataclass
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from . import registry
+from .results import ExperimentResult, ResultEncoder, _plain
+
+__all__ = ["BatchJob", "BatchResult", "BatchEngine", "config_hash"]
+
+
+@dataclass(frozen=True)
+class BatchJob:
+    """One experiment invocation: name plus run() keyword parameters."""
+
+    experiment: str
+    params: Mapping[str, Any] = field(default_factory=dict)
+    quick: bool = False
+
+    def describe(self) -> str:
+        rendered = ", ".join(f"{k}={v!r}" for k, v in sorted(self.params.items()))
+        suffix = " [quick]" if self.quick else ""
+        return f"{self.experiment}({rendered}){suffix}"
+
+
+@dataclass
+class BatchResult:
+    """Outcome of one job: the result plus provenance metadata."""
+
+    job: BatchJob
+    result: ExperimentResult
+    config_hash: str
+    cached: bool
+    duration_seconds: float
+
+    def to_dict(self) -> Dict[str, Any]:
+        data = self.result.to_dict()
+        data["config_hash"] = self.config_hash
+        data["cached"] = self.cached
+        data["duration_seconds"] = round(self.duration_seconds, 6)
+        return data
+
+
+def _canonical(value: Any) -> Any:
+    """Reduce a parameter value to a deterministic, hashable plain form.
+
+    Containers get sorted keys and dataclasses keep a ``__type__`` tag (two
+    different dataclasses with equal fields must not collide); everything
+    else flattens through the shared :func:`repro.api.results._plain`.
+    """
+    if isinstance(value, Mapping):
+        return {str(k): _canonical(v) for k, v in sorted(value.items(), key=lambda kv: str(kv[0]))}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        items = [_canonical(v) for v in value]
+        if isinstance(value, (set, frozenset)):
+            items.sort(key=repr)
+        return items
+    if is_dataclass(value) and not isinstance(value, type):
+        return {
+            "__type__": type(value).__name__,
+            **{f.name: _canonical(getattr(value, f.name)) for f in fields(value)},
+        }
+    return _plain(value)
+
+
+def config_hash(job: BatchJob) -> str:
+    """Deterministic hash of one job's full configuration.
+
+    Includes the package version so caches do not survive releases that may
+    have changed the models.
+    """
+    from .. import __version__
+
+    blob = json.dumps(
+        {
+            "version": __version__,
+            "experiment": job.experiment,
+            "quick": job.quick,
+            "params": _canonical(dict(job.params)),
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+
+
+def _execute_job(job: BatchJob) -> Tuple[ExperimentResult, float]:
+    """Run one job in the current process (also the pool worker entry point)."""
+    registry.discover()
+    spec = registry.get_experiment(job.experiment)
+    start = time.perf_counter()
+    result = spec.run(quick=job.quick, **dict(job.params))
+    return result, time.perf_counter() - start
+
+
+class BatchEngine:
+    """Cache-aware, optionally parallel runner for registered experiments.
+
+    ``jobs`` is the worker-process count (1 = run in-process); ``cache_dir``
+    enables the persistent JSON cache; ``use_cache=False`` disables caching
+    entirely (every job recomputes).
+    """
+
+    def __init__(
+        self,
+        *,
+        jobs: int = 1,
+        cache_dir: Optional[str] = None,
+        use_cache: bool = True,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.jobs = jobs
+        self.cache_dir = cache_dir
+        self.use_cache = use_cache
+        self._memory_cache: Dict[str, ExperimentResult] = {}
+        if cache_dir is not None:
+            os.makedirs(cache_dir, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, job: BatchJob) -> BatchResult:
+        """Run a single job through the cache."""
+        return self.run_many([job])[0]
+
+    def run_many(self, jobs: Sequence[BatchJob]) -> List[BatchResult]:
+        """Run all jobs, fanning cache misses out over the worker pool.
+
+        Results come back in job order.  Duplicate jobs in one batch are
+        computed once.
+        """
+        jobs = list(jobs)
+        hashes = [config_hash(job) for job in jobs]
+        results: Dict[int, BatchResult] = {}
+
+        pending: Dict[str, List[int]] = {}
+        for index, (job, digest) in enumerate(zip(jobs, hashes)):
+            cached = self._cache_lookup(digest) if self.use_cache else None
+            if cached is not None:
+                results[index] = BatchResult(
+                    job=job,
+                    result=cached,
+                    config_hash=digest,
+                    cached=True,
+                    duration_seconds=0.0,
+                )
+            else:
+                pending.setdefault(digest, []).append(index)
+
+        unique_jobs = [(digest, jobs[indices[0]]) for digest, indices in pending.items()]
+        computed = self._compute([job for _, job in unique_jobs])
+        for (digest, job), (result, duration) in zip(unique_jobs, computed):
+            if self.use_cache:
+                self._cache_store(digest, result)
+            for position, index in enumerate(pending[digest]):
+                results[index] = BatchResult(
+                    job=jobs[index],
+                    result=result,
+                    config_hash=digest,
+                    # Duplicates within the batch are computed once; only the
+                    # first occurrence reports the compute time.
+                    cached=position > 0,
+                    duration_seconds=duration if position == 0 else 0.0,
+                )
+        return [results[i] for i in range(len(jobs))]
+
+    def sweep(
+        self,
+        experiment: str,
+        *,
+        quick: bool = False,
+        base_params: Optional[Mapping[str, Any]] = None,
+        **axes: Iterable[Any],
+    ) -> List[BatchResult]:
+        """Expand axis grids into jobs and run them (cartesian product).
+
+        Axis names are translated to run() parameters by the experiment's
+        registered ``sweep_axes`` (e.g. ``size=(2, 3, 4)`` becomes
+        ``sizes=(2,)`` per design point for table2 but ``mesh_size=2`` for
+        table3).
+        """
+        spec = registry.get_experiment(experiment)
+        names = list(axes)
+        grids = [list(axes[name]) for name in names]
+        for name, values in zip(names, grids):
+            if not values:
+                raise ValueError(f"sweep axis {name!r} has no values")
+        import itertools
+
+        batch: List[BatchJob] = []
+        for combo in itertools.product(*grids):
+            params = dict(base_params or {})
+            params.update(spec.params_for_axes(**dict(zip(names, combo))))
+            batch.append(BatchJob(experiment=experiment, params=params, quick=quick))
+        return self.run_many(batch)
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    @staticmethod
+    def to_json(results: Sequence[BatchResult], *, indent: Optional[int] = 2) -> str:
+        """One JSON array with every result's dict form (always serialisable)."""
+        return json.dumps(
+            [r.to_dict() for r in results], indent=indent, cls=ResultEncoder
+        )
+
+    @staticmethod
+    def to_csv(results: Sequence[BatchResult]) -> str:
+        """Flat CSV: one line per data row, prefixed by experiment metadata."""
+        header: List[str] = ["experiment", "config_hash"]
+        flat_rows: List[Dict[str, Any]] = []
+        for batch_result in results:
+            result_header, result_rows = batch_result.result.to_csv_rows()
+            for key in result_header:
+                if key not in header:
+                    header.append(key)
+            for row in result_rows:
+                flat: Dict[str, Any] = {
+                    "experiment": batch_result.job.experiment,
+                    "config_hash": batch_result.config_hash,
+                }
+                flat.update(dict(zip(result_header, row)))
+                flat_rows.append(flat)
+        buffer = io.StringIO()
+        writer = csv.DictWriter(buffer, fieldnames=header, extrasaction="ignore")
+        writer.writeheader()
+        for row in flat_rows:
+            writer.writerow(row)
+        return buffer.getvalue()
+
+    # ------------------------------------------------------------------
+    # Cache plumbing
+    # ------------------------------------------------------------------
+    def cached_results(self) -> List[BatchResult]:
+        """Everything currently in the persistent cache (for ``export``)."""
+        if self.cache_dir is None:
+            return []
+        results: List[BatchResult] = []
+        for name in sorted(os.listdir(self.cache_dir)):
+            if not name.endswith(".json"):
+                continue
+            digest = name[: -len(".json")]
+            result = self._disk_lookup(digest)
+            if result is None:
+                continue
+            results.append(
+                BatchResult(
+                    job=BatchJob(experiment=result.experiment, params=result.params),
+                    result=result,
+                    config_hash=digest,
+                    cached=True,
+                    duration_seconds=0.0,
+                )
+            )
+        return results
+
+    def _cache_lookup(self, digest: str) -> Optional[ExperimentResult]:
+        hit = self._memory_cache.get(digest)
+        if hit is not None:
+            return hit
+        return self._disk_lookup(digest)
+
+    def _disk_lookup(self, digest: str) -> Optional[ExperimentResult]:
+        if self.cache_dir is None:
+            return None
+        path = os.path.join(self.cache_dir, f"{digest}.json")
+        if not os.path.exists(path):
+            return None
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        return ExperimentResult.from_dict(data)
+
+    def _cache_store(self, digest: str, result: ExperimentResult) -> None:
+        self._memory_cache[digest] = result
+        if self.cache_dir is None:
+            return
+        path = os.path.join(self.cache_dir, f"{digest}.json")
+        tmp_path = f"{path}.tmp.{os.getpid()}"
+        with open(tmp_path, "w", encoding="utf-8") as handle:
+            handle.write(result.to_json())
+        os.replace(tmp_path, path)
+
+    def _compute(self, jobs: List[BatchJob]) -> List[Tuple[ExperimentResult, float]]:
+        if not jobs:
+            return []
+        if self.jobs == 1 or len(jobs) == 1:
+            return [_execute_job(job) for job in jobs]
+        import multiprocessing
+
+        workers = min(self.jobs, len(jobs))
+        context = multiprocessing.get_context()
+        with context.Pool(processes=workers) as pool:
+            return pool.map(_execute_job, jobs)

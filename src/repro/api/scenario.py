@@ -1,0 +1,306 @@
+"""Fluent, validated construction of NoC design points.
+
+:class:`Scenario` replaces the scattered ``regular_mesh_config(...)`` /
+``waw_wap_config(...)`` keyword soup with a chainable builder::
+
+    from repro.api import Scenario
+
+    config = Scenario.mesh(8).waw_wap().max_packet_flits(1).build()
+
+Every step returns a *new* scenario (the builder is immutable), every setter
+validates its argument eagerly and :meth:`Scenario.build` produces a regular
+:class:`~repro.core.config.NoCConfig`, so the analytical models and the
+simulator are unaffected by how a design point was described.
+
+:func:`sweep` expands parameter grids into design-point lists::
+
+    points = sweep(Scenario.mesh(4), design=("regular", "waw_wap"),
+                   max_packet_flits=(1, 4, 8))
+
+yielding the cartesian product in deterministic (row-major) order.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
+
+from ..core.config import (
+    ArbitrationPolicy,
+    MessageConfig,
+    NoCConfig,
+    PacketizationPolicy,
+    RouterTiming,
+)
+from ..geometry import Coord, Mesh
+
+__all__ = ["Scenario", "ScenarioError", "sweep"]
+
+
+class ScenarioError(ValueError):
+    """A scenario was built with an invalid or inconsistent parameter."""
+
+
+#: Design names accepted by :meth:`Scenario.design` and :func:`sweep`.
+_DESIGNS: Dict[str, Tuple[ArbitrationPolicy, PacketizationPolicy]] = {
+    "regular": (ArbitrationPolicy.ROUND_ROBIN, PacketizationPolicy.SINGLE_PACKET),
+    "waw_wap": (ArbitrationPolicy.WEIGHTED_ROUND_ROBIN, PacketizationPolicy.MINIMUM_SIZE_PACKETS),
+    "waw": (ArbitrationPolicy.WEIGHTED_ROUND_ROBIN, PacketizationPolicy.SINGLE_PACKET),
+    "wap": (ArbitrationPolicy.ROUND_ROBIN, PacketizationPolicy.MINIMUM_SIZE_PACKETS),
+}
+
+
+class Scenario:
+    """Immutable fluent builder for :class:`~repro.core.config.NoCConfig`.
+
+    Start from :meth:`Scenario.mesh`, chain setters, finish with
+    :meth:`build`.  The defaults match ``regular_mesh_config``: round-robin
+    arbitration, single-packet messages, L=4, m=1, 4-flit buffers, memory
+    controller at (0, 0).
+    """
+
+    __slots__ = ("_settings",)
+
+    def __init__(self, settings: Optional[Mapping[str, Any]] = None) -> None:
+        self._settings: Dict[str, Any] = dict(settings) if settings else {}
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+    @classmethod
+    def mesh(cls, width: int, height: Optional[int] = None) -> "Scenario":
+        """A scenario on a ``width`` x ``height`` mesh (square by default)."""
+        width = _positive_int("mesh width", width)
+        height = width if height is None else _positive_int("mesh height", height)
+        return cls({"mesh_width": width, "mesh_height": height, "design": "regular"})
+
+    # ------------------------------------------------------------------
+    # Design point selection
+    # ------------------------------------------------------------------
+    def design(self, name: str) -> "Scenario":
+        """Select the design point by name: regular, waw_wap, waw or wap."""
+        if name not in _DESIGNS:
+            known = ", ".join(sorted(_DESIGNS))
+            raise ScenarioError(f"unknown design {name!r}; known designs: {known}")
+        return self._with(design=name)
+
+    def regular(self) -> "Scenario":
+        """The baseline wNoC: round-robin arbitration, single-packet messages."""
+        return self.design("regular")
+
+    def waw_wap(self) -> "Scenario":
+        """The paper's proposal: weighted arbitration + minimum-size packets."""
+        return self.design("waw_wap")
+
+    def waw_only(self) -> "Scenario":
+        """Ablation variant: weighted arbitration, single-packet messages."""
+        return self.design("waw")
+
+    def wap_only(self) -> "Scenario":
+        """Ablation variant: round-robin arbitration, minimum-size packets."""
+        return self.design("wap")
+
+    # ------------------------------------------------------------------
+    # Knobs
+    # ------------------------------------------------------------------
+    def max_packet_flits(self, flits: int) -> "Scenario":
+        """Maximum packet length allowed in the network (the paper's L)."""
+        return self._with(max_packet_flits=_positive_int("max_packet_flits", flits))
+
+    def min_packet_flits(self, flits: int) -> "Scenario":
+        """Minimum packet length (the paper's m; WaP slices to this size)."""
+        return self._with(min_packet_flits=_positive_int("min_packet_flits", flits))
+
+    def buffer_depth(self, flits: int) -> "Scenario":
+        """Input buffer depth of every router port, in flits."""
+        return self._with(buffer_depth=_positive_int("buffer_depth", flits))
+
+    def memory_controller(self, x: int, y: int) -> "Scenario":
+        """Place the memory controller (must lie inside the mesh)."""
+        if x < 0 or y < 0:
+            raise ScenarioError(f"memory controller ({x}, {y}) has negative coordinates")
+        return self._with(memory_controller=Coord(x, y))
+
+    def timing(
+        self,
+        *,
+        routing_latency: Optional[int] = None,
+        link_latency: Optional[int] = None,
+        flit_cycle: Optional[int] = None,
+    ) -> "Scenario":
+        """Override router pipeline timing constants (defaults: 3/1/1)."""
+        base: RouterTiming = self._settings.get("timing", RouterTiming())
+        try:
+            new = RouterTiming(
+                routing_latency=base.routing_latency if routing_latency is None else routing_latency,
+                link_latency=base.link_latency if link_latency is None else link_latency,
+                flit_cycle=base.flit_cycle if flit_cycle is None else flit_cycle,
+            )
+        except ValueError as exc:
+            raise ScenarioError(str(exc)) from None
+        return self._with(timing=new)
+
+    def messages(self, messages: MessageConfig) -> "Scenario":
+        """Override the message-size constants of the evaluated manycore."""
+        if not isinstance(messages, MessageConfig):
+            raise ScenarioError("messages expects a MessageConfig instance")
+        return self._with(messages=messages)
+
+    # ------------------------------------------------------------------
+    # Introspection / terminal operations
+    # ------------------------------------------------------------------
+    @property
+    def settings(self) -> Dict[str, Any]:
+        """A copy of the accumulated settings (useful for labels and hashes)."""
+        return dict(self._settings)
+
+    def label(self) -> str:
+        """A short deterministic label, e.g. ``waw_wap-8x8-L1``."""
+        s = self._settings
+        parts = [s.get("design", "regular"), f"{s['mesh_width']}x{s['mesh_height']}"]
+        if "max_packet_flits" in s:
+            parts.append(f"L{s['max_packet_flits']}")
+        if "min_packet_flits" in s:
+            parts.append(f"m{s['min_packet_flits']}")
+        if "buffer_depth" in s:
+            parts.append(f"b{s['buffer_depth']}")
+        return "-".join(parts)
+
+    def build(self) -> NoCConfig:
+        """Produce the validated :class:`NoCConfig` for this scenario."""
+        s = self._settings
+        if "mesh_width" not in s:
+            raise ScenarioError("a scenario needs a mesh; start from Scenario.mesh(width)")
+        mesh = Mesh(s["mesh_width"], s["mesh_height"])
+        arbitration, packetization = _DESIGNS[s.get("design", "regular")]
+        kwargs: Dict[str, Any] = {
+            "mesh": mesh,
+            "arbitration": arbitration,
+            "packetization": packetization,
+        }
+        for key in (
+            "max_packet_flits",
+            "min_packet_flits",
+            "buffer_depth",
+            "timing",
+            "messages",
+            "memory_controller",
+        ):
+            if key in s:
+                kwargs[key] = s[key]
+        try:
+            return NoCConfig(**kwargs)
+        except ValueError as exc:
+            raise ScenarioError(f"invalid scenario {self.label()}: {exc}") from None
+
+    def __repr__(self) -> str:
+        return f"Scenario({self.label()})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Scenario):
+            return NotImplemented
+        return self._settings == other._settings
+
+    def __hash__(self) -> int:
+        return hash(tuple(sorted((k, repr(v)) for k, v in self._settings.items())))
+
+    # ------------------------------------------------------------------
+    def _with(self, **updates: Any) -> "Scenario":
+        merged = dict(self._settings)
+        merged.update(updates)
+        return Scenario(merged)
+
+
+#: sweep() axis name -> Scenario method applying one value of that axis.
+_SWEEP_AXES = {
+    "mesh": lambda sc, v: _apply_mesh(sc, v),
+    "design": lambda sc, v: sc.design(v),
+    "max_packet_flits": lambda sc, v: sc.max_packet_flits(v),
+    "min_packet_flits": lambda sc, v: sc.min_packet_flits(v),
+    "buffer_depth": lambda sc, v: sc.buffer_depth(v),
+    "memory_controller": lambda sc, v: sc.memory_controller(*v),
+}
+
+
+def _apply_mesh(scenario: Optional[Scenario], value: Any) -> Scenario:
+    width, height = (value, None) if isinstance(value, int) else tuple(value)
+    fresh = Scenario.mesh(width, height)
+    if scenario is None:
+        return fresh
+    merged = scenario.settings
+    merged["mesh_width"], merged["mesh_height"] = (
+        fresh.settings["mesh_width"],
+        fresh.settings["mesh_height"],
+    )
+    return Scenario(merged)
+
+
+def sweep(base: Optional[Scenario] = None, **grid: Any) -> List[Scenario]:
+    """Expand parameter grids into a list of scenarios (cartesian product).
+
+    ``base`` provides the fixed part of every design point; each keyword is
+    one axis of the grid and may be a single value or an iterable of values.
+    Axes: ``mesh``, ``design``, ``max_packet_flits``, ``min_packet_flits``,
+    ``buffer_depth`` and ``memory_controller`` (an ``(x, y)`` pair).
+
+    Mesh axis values are square sizes; a bare 2-tuple of ints is two square
+    sizes (``mesh=(8, 4)`` is an 8x8 and a 4x4).  Rectangular meshes must be
+    wrapped in a list: ``mesh=[(8, 4)]`` is one 8x4 design point.
+
+    The expansion order is deterministic: the last axis varies fastest, like
+    nested for-loops written in keyword order.
+    """
+    if not grid:
+        raise ScenarioError("sweep() needs at least one axis, e.g. mesh=(2, 3, 4)")
+    unknown = [k for k in grid if k not in _SWEEP_AXES]
+    if unknown:
+        known = ", ".join(_SWEEP_AXES)
+        raise ScenarioError(f"unknown sweep axis {unknown[0]!r}; known axes: {known}")
+    if base is None and "mesh" not in grid:
+        raise ScenarioError("sweep() without a base scenario needs a mesh axis")
+
+    axes: List[Tuple[str, List[Any]]] = []
+    for name, values in grid.items():
+        value_list = _axis_values(name, values)
+        if not value_list:
+            raise ScenarioError(f"sweep axis {name!r} has no values")
+        axes.append((name, value_list))
+
+    scenarios: List[Scenario] = []
+    for combo in itertools.product(*(values for _, values in axes)):
+        scenario = base
+        # The mesh axis must be applied first: it is the only way to create
+        # a scenario when no base is given.
+        ordered = sorted(zip((name for name, _ in axes), combo), key=lambda kv: kv[0] != "mesh")
+        for name, value in ordered:
+            if name == "mesh":
+                scenario = _apply_mesh(scenario, value)
+            else:
+                scenario = _SWEEP_AXES[name](scenario, value)
+        scenarios.append(scenario)
+    return scenarios
+
+
+def _axis_values(name: str, values: Any) -> List[Any]:
+    if isinstance(values, (str, bytes)):
+        return [values]
+    if name == "mesh" and isinstance(values, tuple) and len(values) == 2 and all(
+        isinstance(v, int) for v in values
+    ):
+        # Ambiguous (8, 4): treat as two sizes, use [(8, 4)] for one rectangle.
+        return list(values)
+    if name == "memory_controller" and isinstance(values, tuple) and len(values) == 2 and all(
+        isinstance(v, int) for v in values
+    ):
+        return [values]
+    if isinstance(values, Iterable):
+        return list(values)
+    return [values]
+
+
+def _positive_int(name: str, value: Any) -> int:
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ScenarioError(f"{name} must be an integer, got {value!r}")
+    if value < 1:
+        raise ScenarioError(f"{name} must be >= 1, got {value}")
+    return value

@@ -22,7 +22,8 @@ This module provides three ways to obtain those counts:
   (e.g. all-to-one traffic towards the memory controller), which is what the
   WCTT analysis and the simulator of the evaluated manycore use.
 
-Discrepancy note (documented in EXPERIMENTS.md): the printed closed forms
+Discrepancy note (also surfaced by the ``table1`` experiment's report): the
+printed closed forms
 give ``I_X- = N - x`` and ``O_X- = N - x + 1`` whereas the worked example of
 Table I (router R(1,1) of a 2x2 mesh, ``W(PME, X-) = 1``) requires
 ``O_X- = N - x``; the printed forms count one fictitious node beyond the

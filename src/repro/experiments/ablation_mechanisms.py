@@ -23,7 +23,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from ..analysis.reporting import format_table, format_title
-from ..core.config import regular_mesh_config, waw_wap_config
+from ..api import Scenario, experiment, unwrap
 from ..core.flows import FlowSet
 from ..core.wctt import wctt_summary
 from ..core.wctt_regular import RegularMeshWCTTAnalysis
@@ -51,10 +51,20 @@ class AblationRow:
         }
 
 
+@experiment(
+    "ablation",
+    description="Ablation -- WaP-only / WaW-only / WaW+WaP WCTT contributions",
+    paper_reference="extension (ablation)",
+    quick_params={"mesh_size": 4},
+    sweep_axes={
+        "size": lambda v: {"mesh_size": v},
+        "packet_flits": lambda v: {"max_packet_flits": v},
+    },
+)
 def run(*, mesh_size: int = 8, max_packet_flits: int = 4) -> List[AblationRow]:
     """Compute the ablation for one mesh size and maximum packet size."""
-    regular_cfg = regular_mesh_config(mesh_size, max_packet_flits=max_packet_flits)
-    waw_cfg = waw_wap_config(mesh_size, max_packet_flits=max_packet_flits)
+    regular_cfg = Scenario.mesh(mesh_size).regular().max_packet_flits(max_packet_flits).build()
+    waw_cfg = Scenario.mesh(mesh_size).waw_wap().max_packet_flits(max_packet_flits).build()
     destination = regular_cfg.memory_controller
     flows = FlowSet.all_to_one(regular_cfg.mesh, destination)
 
@@ -91,19 +101,12 @@ def run(*, mesh_size: int = 8, max_packet_flits: int = 4) -> List[AblationRow]:
     # WaW only: weighted arbitration with maximum-size packets.  Modelled by
     # the weighted analysis with the minimum packet size set to L (every slot
     # of the weighted round is a maximum-size packet).
-    waw_only_cfg = waw_wap_config(
-        mesh_size, max_packet_flits=max_packet_flits
-    )
-    waw_only_cfg = waw_only_cfg.__class__(
-        mesh=waw_only_cfg.mesh,
-        arbitration=waw_only_cfg.arbitration,
-        packetization=waw_only_cfg.packetization,
-        max_packet_flits=max_packet_flits,
-        min_packet_flits=max_packet_flits,
-        buffer_depth=waw_only_cfg.buffer_depth,
-        timing=waw_only_cfg.timing,
-        messages=waw_only_cfg.messages,
-        memory_controller=waw_only_cfg.memory_controller,
+    waw_only_cfg = (
+        Scenario.mesh(mesh_size)
+        .waw_wap()
+        .max_packet_flits(max_packet_flits)
+        .min_packet_flits(max_packet_flits)
+        .build()
     )
     add(
         f"WaW only (weighted, {max_packet_flits}-flit packets)",
@@ -120,7 +123,7 @@ def run(*, mesh_size: int = 8, max_packet_flits: int = 4) -> List[AblationRow]:
 
 
 def report(rows: Optional[List[AblationRow]] = None) -> str:
-    rows = rows if rows is not None else run()
+    rows = unwrap(rows) if rows is not None else unwrap(run())
     title = format_title("Ablation -- contribution of WaP and WaW to the WCTT bound (8x8, memory traffic)")
     table = format_table([r.as_dict() for r in rows])
     return f"{title}\n{table}"

@@ -18,8 +18,9 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..analysis.reporting import format_key_values, format_table, format_title
+from ..api import Scenario, experiment, unwrap
 from ..core.area import AreaParameters, router_area, waw_wap_overhead
-from ..core.config import NoCConfig, waw_wap_config
+from ..core.config import NoCConfig
 
 __all__ = ["AreaPoint", "run", "report"]
 
@@ -49,13 +50,19 @@ class AreaPoint:
         }
 
 
+@experiment(
+    "area",
+    description="Router area overhead of WaW+WaP (< 5 % claim)",
+    paper_reference="Section III (area)",
+    sweep_axes={"size": lambda v: {"config": Scenario.mesh(v).waw_wap().build()}},
+)
 def run(
     *,
     config: Optional[NoCConfig] = None,
     sensitivity: Sequence[Tuple[int, int]] = ((2, 132), (4, 132), (8, 132), (4, 64), (4, 256)),
 ) -> List[AreaPoint]:
     """Evaluate the area model for the evaluated system and sensitivity points."""
-    base_config = config if config is not None else waw_wap_config(8)
+    base_config = config if config is not None else Scenario.mesh(8).waw_wap().build()
     points: List[AreaPoint] = []
 
     def evaluate(label: str, buffer_depth: int, link_width: int) -> AreaPoint:
@@ -79,8 +86,8 @@ def run(
 
 
 def report(points: Optional[List[AreaPoint]] = None, *, config: Optional[NoCConfig] = None) -> str:
-    base_config = config if config is not None else waw_wap_config(8)
-    points = points if points is not None else run(config=base_config)
+    base_config = config if config is not None else Scenario.mesh(8).waw_wap().build()
+    points = unwrap(points) if points is not None else unwrap(run(config=base_config))
     title = format_title("Router area overhead of WaW + WaP (gate-equivalent model)")
     table = format_table([p.as_dict() for p in points])
     breakdown = router_area(

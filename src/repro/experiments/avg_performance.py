@@ -24,7 +24,8 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from ..analysis.reporting import format_table, format_title
-from ..core.config import NoCConfig, regular_mesh_config, waw_wap_config
+from ..api import Scenario, experiment, unwrap
+from ..core.config import NoCConfig
 from ..manycore.placement import Placement
 from ..manycore.system import ManycoreSystem
 from ..workloads.eembc import autobench_suite
@@ -88,6 +89,13 @@ def _run_parallel(config: NoCConfig, *, workload: ParallelWorkload) -> int:
     return system.run_to_completion()
 
 
+@experiment(
+    "avgperf",
+    description="Average performance impact of WaW+WaP (cycle-accurate)",
+    paper_reference="Section IV (average performance)",
+    quick_params={"mesh_size": 3, "profile_scale": 0.001, "parallel_threads": 4},
+    sweep_axes={"size": lambda v: {"mesh_size": v}},
+)
 def run(
     *,
     mesh_size: int = 4,
@@ -103,8 +111,8 @@ def run(
     below a few seconds; larger values reproduce the same relative figures at
     higher confidence.
     """
-    regular_cfg = regular_mesh_config(mesh_size)
-    waw_cfg = waw_wap_config(mesh_size)
+    regular_cfg = Scenario.mesh(mesh_size).regular().build()
+    waw_cfg = Scenario.mesh(mesh_size).waw_wap().build()
 
     points: List[AveragePerformancePoint] = []
 
@@ -130,7 +138,7 @@ def run(
 
 
 def report(points: Optional[List[AveragePerformancePoint]] = None) -> str:
-    points = points if points is not None else run()
+    points = unwrap(points) if points is not None else unwrap(run())
     title = format_title("Average performance -- WaW+WaP vs regular wNoC (cycle-accurate simulation)")
     table = format_table([p.as_dict() for p in points])
     worst = max(p.slowdown_percent for p in points)

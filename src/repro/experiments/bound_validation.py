@@ -24,7 +24,7 @@ from typing import Dict, List, Optional, Sequence
 
 from ..analysis.reporting import format_table, format_title
 from ..analysis.validation import BoundValidationResult, validate_design
-from ..core.config import regular_mesh_config, waw_wap_config
+from ..api import Scenario, experiment, unwrap
 
 __all__ = ["ValidationRow", "run", "report"]
 
@@ -65,6 +65,16 @@ def _to_row(mesh_label: str, result: BoundValidationResult) -> ValidationRow:
     )
 
 
+@experiment(
+    "validation",
+    description="Analytical bounds vs adversarial cycle-accurate measurements",
+    paper_reference="extension (validation)",
+    quick_params={"mesh_sizes": (3,), "congestion_cycles": 600},
+    sweep_axes={
+        "size": lambda v: {"mesh_sizes": (v,)},
+        "packet_flits": lambda v: {"max_packet_flits": v},
+    },
+)
 def run(
     *,
     mesh_sizes: Sequence[int] = (3, 4),
@@ -81,8 +91,8 @@ def run(
     for size in mesh_sizes:
         label = f"{size}x{size}"
         for config in (
-            regular_mesh_config(size, max_packet_flits=max_packet_flits),
-            waw_wap_config(size, max_packet_flits=max_packet_flits),
+            Scenario.mesh(size).regular().max_packet_flits(max_packet_flits).build(),
+            Scenario.mesh(size).waw_wap().max_packet_flits(max_packet_flits).build(),
         ):
             for result in validate_design(config, congestion_cycles=congestion_cycles):
                 rows.append(_to_row(label, result))
@@ -90,7 +100,7 @@ def run(
 
 
 def report(rows: Optional[List[ValidationRow]] = None) -> str:
-    rows = rows if rows is not None else run()
+    rows = unwrap(rows) if rows is not None else unwrap(run())
     title = format_title("Bound validation -- analytical WCTT vs adversarial simulation")
     table = format_table([r.as_dict() for r in rows])
     all_safe = all(r.safe for r in rows)

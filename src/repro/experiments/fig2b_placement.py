@@ -23,7 +23,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional
 
 from ..analysis.reporting import format_key_values, format_table, format_title
-from ..core.config import regular_mesh_config, waw_wap_config
+from ..api import Scenario, experiment, unwrap
 from ..core.ubd import MemoryTiming, UBDTable
 from ..geometry import Mesh
 from ..manycore.placement import Placement, standard_placements
@@ -57,6 +57,15 @@ class PlacementPoint:
         }
 
 
+@experiment(
+    "fig2b",
+    description="Fig 2(b) -- 3DPP WCET across placements P0..P3",
+    paper_reference="Figure 2(b)",
+    sweep_axes={
+        "size": lambda v: {"mesh_size": v},
+        "packet_flits": lambda v: {"max_packet_flits": v},
+    },
+)
 def run(
     *,
     mesh_size: int = 8,
@@ -70,8 +79,8 @@ def run(
     if workload is None:
         workload = plan_path(planner_config).workload
 
-    regular_cfg = regular_mesh_config(mesh_size, max_packet_flits=max_packet_flits)
-    waw_cfg = waw_wap_config(mesh_size, max_packet_flits=max_packet_flits)
+    regular_cfg = Scenario.mesh(mesh_size).regular().max_packet_flits(max_packet_flits).build()
+    waw_cfg = Scenario.mesh(mesh_size).waw_wap().max_packet_flits(max_packet_flits).build()
     mesh = Mesh(mesh_size, mesh_size)
     if placements is None:
         placements = standard_placements(mesh, num_threads=workload.num_threads)
@@ -99,6 +108,7 @@ def run(
 
 def variability(points: List[PlacementPoint]) -> Dict[str, float]:
     """Best-to-worst WCET spread of each design across the placements."""
+    points = unwrap(points)
     regular = [p.regular_wcet for p in points]
     waw = [p.waw_wap_wcet for p in points]
     return {
@@ -108,7 +118,7 @@ def variability(points: List[PlacementPoint]) -> Dict[str, float]:
 
 
 def report(points: Optional[List[PlacementPoint]] = None) -> str:
-    points = points if points is not None else run()
+    points = unwrap(points) if points is not None else unwrap(run())
     title = format_title(
         "Figure 2(b) -- impact of placement on the 3DPP WCET estimate (L1 setup)"
     )

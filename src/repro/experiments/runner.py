@@ -1,134 +1,358 @@
-"""Command-line entry point running every experiment of the reproduction.
+"""Command-line front-end of the reproduction (``repro-experiments``).
 
-Usage (installed as the ``repro-experiments`` console script)::
+The CLI is a thin layer over :mod:`repro.api`: experiments are discovered
+through the decorator registry and executed through the cache-aware batch
+engine.  Subcommands::
 
-    repro-experiments                 # run everything with default parameters
-    repro-experiments table2 fig2a    # run a subset
-    repro-experiments --list          # list available experiments
-    repro-experiments --quick         # smaller meshes / shorter simulations
+    repro-experiments run [NAMES...] [--quick] [--jobs N] [--json -] [--csv F]
+    repro-experiments list [--json]
+    repro-experiments sweep --sizes 2,3,4 [--experiment table2] [--jobs N]
+    repro-experiments export --cache-dir DIR [--json F] [--csv F] [NAMES...]
 
-Each experiment corresponds to one table or figure of the paper (plus the
-ablation, validation and area studies); see DESIGN.md for the experiment
-index and EXPERIMENTS.md for paper-vs-measured numbers.
+The pre-subcommand invocation style keeps working: ``repro-experiments
+table2 fig2a``, ``repro-experiments --list`` and ``repro-experiments
+--quick`` are rewritten to the equivalent subcommand form.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-import time
-from typing import Callable, Dict, List
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
-from . import (
-    ablation_mechanisms,
-    area_overhead,
-    avg_performance,
-    bound_validation,
-    fig2a_packet_size,
-    fig2b_placement,
-    table1_weights,
-    table2_wctt,
-    table3_eembc,
+from ..analysis.reporting import format_table
+from ..api import (
+    BatchEngine,
+    BatchJob,
+    BatchResult,
+    UnknownExperimentError,
+    get_experiment,
+    list_experiments,
 )
 
 __all__ = ["EXPERIMENTS", "main", "run_experiment"]
 
-#: Experiment name -> (description, default report builder, quick report builder).
-EXPERIMENTS: Dict[str, Dict[str, Callable[[], str]]] = {
-    "table1": {
-        "description": "Table I  -- WaW arbitration weights of router R(1,1) in a 2x2 mesh",
-        "default": lambda: table1_weights.report(),
-        "quick": lambda: table1_weights.report(),
-    },
-    "table2": {
-        "description": "Table II -- WCTT scaling with mesh size, regular vs WaW+WaP",
-        "default": lambda: table2_wctt.report(),
-        "quick": lambda: table2_wctt.report(table2_wctt.run(sizes=(2, 3, 4))),
-    },
-    "table3": {
-        "description": "Table III -- per-core normalized WCET of EEMBC on an 8x8 mesh",
-        "default": lambda: table3_eembc.report(),
-        "quick": lambda: table3_eembc.report(table3_eembc.run(mesh_size=4)),
-    },
-    "fig2a": {
-        "description": "Fig 2(a) -- 3DPP WCET vs maximum packet size (L1/L4/L8)",
-        "default": lambda: fig2a_packet_size.report(),
-        "quick": lambda: fig2a_packet_size.report(),
-    },
-    "fig2b": {
-        "description": "Fig 2(b) -- 3DPP WCET across placements P0..P3",
-        "default": lambda: fig2b_placement.report(),
-        "quick": lambda: fig2b_placement.report(),
-    },
-    "avgperf": {
-        "description": "Average performance impact of WaW+WaP (cycle-accurate)",
-        "default": lambda: avg_performance.report(),
-        "quick": lambda: avg_performance.report(
-            avg_performance.run(mesh_size=3, profile_scale=0.001, parallel_threads=4)
-        ),
-    },
-    "area": {
-        "description": "Router area overhead of WaW+WaP (< 5 % claim)",
-        "default": lambda: area_overhead.report(),
-        "quick": lambda: area_overhead.report(),
-    },
-    "ablation": {
-        "description": "Ablation -- WaP-only / WaW-only / WaW+WaP WCTT contributions",
-        "default": lambda: ablation_mechanisms.report(),
-        "quick": lambda: ablation_mechanisms.report(ablation_mechanisms.run(mesh_size=4)),
-    },
-    "validation": {
-        "description": "Analytical bounds vs adversarial cycle-accurate measurements",
-        "default": lambda: bound_validation.report(),
-        "quick": lambda: bound_validation.report(
-            bound_validation.run(mesh_sizes=(3,), congestion_cycles=600)
-        ),
-    },
-}
+_SUBCOMMANDS = ("run", "list", "sweep", "export")
+
+
+def _build_legacy_experiments() -> Dict[str, Dict[str, Any]]:
+    """The historical ``EXPERIMENTS`` mapping, now derived from the registry.
+
+    Kept for backwards compatibility: name -> {description, default report
+    builder, quick report builder}.  New code should use
+    :func:`repro.api.get_experiment` instead.
+    """
+    table: Dict[str, Dict[str, Any]] = {}
+    for spec in list_experiments():
+        table[spec.name] = {
+            "description": spec.description,
+            "default": (lambda s=spec: s.report_text()),
+            "quick": (lambda s=spec: s.report_text(quick=True)),
+        }
+    return table
+
+
+#: Deprecated compatibility view of the registry (see _build_legacy_experiments).
+EXPERIMENTS: Dict[str, Dict[str, Any]] = _build_legacy_experiments()
 
 
 def run_experiment(name: str, *, quick: bool = False) -> str:
-    """Run one experiment by name and return its textual report."""
-    if name not in EXPERIMENTS:
-        known = ", ".join(sorted(EXPERIMENTS))
-        raise KeyError(f"unknown experiment {name!r}; known experiments: {known}")
-    builder = EXPERIMENTS[name]["quick" if quick else "default"]
-    return builder()
+    """Run one experiment by name and return its textual report.
+
+    Unknown names raise :class:`~repro.api.UnknownExperimentError` (a
+    ``KeyError``) whose message lists close matches, e.g. ``tabel2`` suggests
+    ``table2``.
+    """
+    return get_experiment(name).report_text(quick=quick)
 
 
-def main(argv: List[str] = None) -> int:
+# ----------------------------------------------------------------------
+# Argument parsing
+# ----------------------------------------------------------------------
+def _normalise_argv(argv: List[str]) -> List[str]:
+    """Rewrite the legacy invocation style into subcommand form."""
+    if not argv:
+        return ["run"]
+    if argv[0] in _SUBCOMMANDS or argv[0] in ("-h", "--help"):
+        return argv
+    if "--list" in argv:
+        return ["list"]
+    return ["run"] + argv
+
+
+def _csv_ints(text: str) -> List[int]:
+    try:
+        return [int(part) for part in text.split(",") if part.strip()]
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected comma-separated integers, got {text!r}")
+
+
+def _add_engine_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for parallel execution (default: 1)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="persist results as JSON keyed by config hash in DIR",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="recompute every design point even if cached",
+    )
+
+
+def _add_export_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="write results as JSON to PATH ('-' for stdout)",
+    )
+    parser.add_argument(
+        "--csv", default=None, metavar="PATH",
+        help="write results as CSV to PATH ('-' for stdout)",
+    )
+
+
+def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description="Reproduce the tables and figures of the wormhole-mesh NoC paper.",
     )
-    parser.add_argument(
-        "experiments",
-        nargs="*",
-        help="experiments to run (default: all); see --list",
-    )
-    parser.add_argument("--list", action="store_true", help="list available experiments and exit")
-    parser.add_argument(
-        "--quick", action="store_true", help="use smaller meshes / shorter simulations"
-    )
-    args = parser.parse_args(argv)
+    subparsers = parser.add_subparsers(dest="command", required=True)
 
-    if args.list:
-        for name in sorted(EXPERIMENTS):
-            print(f"{name:12s} {EXPERIMENTS[name]['description']}")
-        return 0
+    run_parser = subparsers.add_parser(
+        "run", help="run experiments and print their reports / export their data"
+    )
+    run_parser.add_argument(
+        "experiments", nargs="*", metavar="NAME",
+        help="experiments to run (default: all); see 'list'",
+    )
+    run_parser.add_argument(
+        "--quick", action="store_true",
+        help="use smaller meshes / shorter simulations",
+    )
+    _add_engine_options(run_parser)
+    _add_export_options(run_parser)
 
-    names = args.experiments if args.experiments else sorted(EXPERIMENTS)
-    unknown = [n for n in names if n not in EXPERIMENTS]
-    if unknown:
-        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
-        print("use --list to see the available experiments", file=sys.stderr)
+    list_parser = subparsers.add_parser("list", help="list available experiments")
+    list_parser.add_argument(
+        "--json", action="store_true", help="machine-readable listing"
+    )
+
+    sweep_parser = subparsers.add_parser(
+        "sweep", help="run one experiment over a parameter grid"
+    )
+    sweep_parser.add_argument(
+        "--experiment", default="table2", metavar="NAME",
+        help="experiment to sweep (default: table2)",
+    )
+    sweep_parser.add_argument(
+        "--sizes", type=_csv_ints, default=None, metavar="N,N,...",
+        help="mesh sizes to sweep, e.g. 2,3,4",
+    )
+    sweep_parser.add_argument(
+        "--packet-flits", type=_csv_ints, default=None, metavar="N,N,...",
+        help="maximum packet sizes to sweep, e.g. 1,4,8",
+    )
+    sweep_parser.add_argument(
+        "--quick", action="store_true",
+        help="apply the experiment's quick parameters to every design point",
+    )
+    _add_engine_options(sweep_parser)
+    _add_export_options(sweep_parser)
+
+    export_parser = subparsers.add_parser(
+        "export", help="re-export previously cached results as JSON/CSV"
+    )
+    export_parser.add_argument(
+        "experiments", nargs="*", metavar="NAME",
+        help="restrict the export to these experiments (default: all cached)",
+    )
+    export_parser.add_argument(
+        "--cache-dir", required=True, metavar="DIR",
+        help="cache directory written by 'run'/'sweep' --cache-dir",
+    )
+    _add_export_options(export_parser)
+
+    return parser
+
+
+# ----------------------------------------------------------------------
+# Output helpers
+# ----------------------------------------------------------------------
+def _write_exports(results: Sequence[BatchResult], args: argparse.Namespace) -> None:
+    for path, render in ((args.json, BatchEngine.to_json), (args.csv, BatchEngine.to_csv)):
+        if path is None:
+            continue
+        payload = render(results)
+        if path == "-":
+            print(payload)
+        else:
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(payload)
+            print(f"wrote {len(results)} result(s) to {path}", file=sys.stderr)
+
+
+def _exports_use_stdout(args: argparse.Namespace) -> bool:
+    return args.json == "-" or args.csv == "-"
+
+
+def _print_report(result: BatchResult) -> None:
+    if result.result.from_cache:
+        # Rebuilt from the JSON cache: the native payload (and with it the
+        # exact paper-style rendering) is gone, render the rows directly.
+        print(f"{result.job.experiment} [cached {result.config_hash}]")
+        rows = result.result.rows()
+        print(format_table(rows) if rows else "(no rows)")
+        print()
+        return
+    spec = get_experiment(result.job.experiment)
+    print(spec.report(result.result))
+    source = "cache" if result.cached else f"{result.duration_seconds:.1f}s"
+    print(f"\n[{result.job.experiment} completed in {source}]\n")
+
+
+def _resolve_names(names: Sequence[str]) -> Optional[List[str]]:
+    """Validate experiment names, printing near-miss errors; None on failure."""
+    resolved = list(names) if names else [spec.name for spec in list_experiments()]
+    failed = False
+    for name in resolved:
+        try:
+            get_experiment(name)
+        except UnknownExperimentError as error:
+            print(str(error), file=sys.stderr)
+            failed = True
+    if failed:
+        print("use 'repro-experiments list' to see the available experiments", file=sys.stderr)
+        return None
+    return resolved
+
+
+# ----------------------------------------------------------------------
+# Subcommands
+# ----------------------------------------------------------------------
+def _make_engine(args: argparse.Namespace) -> Optional[BatchEngine]:
+    try:
+        return BatchEngine(
+            jobs=args.jobs, cache_dir=args.cache_dir, use_cache=not args.no_cache
+        )
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return None
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    names = _resolve_names(args.experiments)
+    if names is None:
         return 2
-
-    for name in names:
-        start = time.time()
-        print(run_experiment(name, quick=args.quick))
-        print(f"\n[{name} completed in {time.time() - start:.1f}s]\n")
+    engine = _make_engine(args)
+    if engine is None:
+        return 2
+    results = engine.run_many(
+        [BatchJob(experiment=name, quick=args.quick) for name in names]
+    )
+    if not _exports_use_stdout(args):
+        for result in results:
+            _print_report(result)
+    _write_exports(results, args)
     return 0
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    specs = list_experiments()
+    if args.json:
+        import json
+
+        print(
+            json.dumps(
+                [
+                    {
+                        "name": spec.name,
+                        "description": spec.description,
+                        "paper_reference": spec.paper_reference,
+                        "sweep_axes": sorted(spec.sweep_axes),
+                    }
+                    for spec in specs
+                ],
+                indent=2,
+            )
+        )
+        return 0
+    for spec in specs:
+        print(f"{spec.name:12s} {spec.description}")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    try:
+        get_experiment(args.experiment)
+    except UnknownExperimentError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    axes: Dict[str, List[int]] = {}
+    if args.sizes:
+        axes["size"] = args.sizes
+    if args.packet_flits:
+        axes["packet_flits"] = args.packet_flits
+    if not axes:
+        print("sweep needs at least one axis (--sizes and/or --packet-flits)", file=sys.stderr)
+        return 2
+    engine = _make_engine(args)
+    if engine is None:
+        return 2
+    try:
+        results = engine.sweep(args.experiment, quick=args.quick, **axes)
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    if not _exports_use_stdout(args):
+        print(
+            format_table(
+                [
+                    {
+                        "experiment": result.job.experiment,
+                        "params": ", ".join(
+                            f"{k}={v}" for k, v in sorted(result.job.params.items())
+                        ),
+                        "config hash": result.config_hash,
+                        "cached": result.cached,
+                        "rows": len(result.result.rows()),
+                        "seconds": round(result.duration_seconds, 2),
+                    }
+                    for result in results
+                ]
+            )
+        )
+    _write_exports(results, args)
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    engine = BatchEngine(cache_dir=args.cache_dir)
+    results = engine.cached_results()
+    if args.experiments:
+        wanted = set(args.experiments)
+        results = [r for r in results if r.job.experiment in wanted]
+    if not results:
+        print("no cached results matched", file=sys.stderr)
+        return 1
+    if args.json is None and args.csv is None:
+        args.json = "-"
+    _write_exports(results, args)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    parser = _build_parser()
+    args = parser.parse_args(_normalise_argv(argv))
+    handlers: Dict[str, Callable[[argparse.Namespace], int]] = {
+        "run": _cmd_run,
+        "list": _cmd_list,
+        "sweep": _cmd_sweep,
+        "export": _cmd_export,
+    }
+    return handlers[args.command](args)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -22,6 +22,7 @@ from fractions import Fraction
 from typing import Dict, List, Optional
 
 from ..analysis.reporting import format_table, format_title
+from ..api import experiment, unwrap
 from ..core.flows import FlowSet
 from ..core.weights import WeightTable, round_robin_weight
 from ..geometry import Coord, Mesh, Port
@@ -48,6 +49,12 @@ class WeightRow:
         }
 
 
+@experiment(
+    "table1",
+    description="Table I  -- WaW arbitration weights of router R(1,1) in a 2x2 mesh",
+    paper_reference="Table I",
+    sweep_axes={"size": lambda v: {"mesh_width": v, "mesh_height": v}},
+)
 def run(
     *,
     mesh_width: int = 2,
@@ -81,7 +88,7 @@ def run(
 
 def report(rows: Optional[List[WeightRow]] = None) -> str:
     """Render the experiment as a paper-style table."""
-    rows = rows if rows is not None else run()
+    rows = unwrap(rows) if rows is not None else unwrap(run())
     title = format_title("Table I -- arbitration weights for router R(1,1) of a 2x2 mesh")
     table = format_table([r.as_dict() for r in rows])
     note = (

@@ -25,7 +25,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from ..analysis.reporting import format_table, format_title
-from ..core.config import regular_mesh_config, waw_wap_config
+from ..api import Scenario, experiment, unwrap
 from ..core.flows import FlowSet
 from ..core.wctt import WCTTSummary, make_wctt_analysis, wctt_summary
 from ..core.wctt_weighted import WaWWaPWCTTAnalysis
@@ -33,7 +33,7 @@ from ..geometry import Coord
 
 __all__ = ["Table2Row", "run", "report"]
 
-#: Values printed in the paper, used by EXPERIMENTS.md and the comparison column.
+#: Values printed in the paper, shown next to the measured rows by report().
 PAPER_TABLE2 = {
     2: {"regular": (14, 10.0, 6), "waw_wap": (11, 9.0, 8)},
     3: {"regular": (123, 39.16, 9), "waw_wap": (32, 24.0, 17)},
@@ -70,6 +70,16 @@ class Table2Row:
         return self.regular.maximum / self.waw_wap.maximum
 
 
+@experiment(
+    "table2",
+    description="Table II -- WCTT scaling with mesh size, regular vs WaW+WaP",
+    paper_reference="Table II",
+    quick_params={"sizes": (2, 3, 4)},
+    sweep_axes={
+        "size": lambda v: {"sizes": (v,)},
+        "packet_flits": lambda v: {"packet_flits": v},
+    },
+)
 def run(
     *,
     sizes: Sequence[int] = (2, 3, 4, 5, 6, 7, 8),
@@ -80,8 +90,8 @@ def run(
     dst = destination if destination is not None else Coord(0, 0)
     rows: List[Table2Row] = []
     for size in sizes:
-        regular_cfg = regular_mesh_config(size, max_packet_flits=packet_flits)
-        waw_cfg = waw_wap_config(size, max_packet_flits=packet_flits)
+        regular_cfg = Scenario.mesh(size).regular().max_packet_flits(packet_flits).build()
+        waw_cfg = Scenario.mesh(size).waw_wap().max_packet_flits(packet_flits).build()
         flows = FlowSet.all_to_one(regular_cfg.mesh, dst)
 
         regular_analysis = make_wctt_analysis(regular_cfg)
@@ -103,7 +113,7 @@ def run(
 
 def report(rows: Optional[List[Table2Row]] = None, *, include_paper: bool = True) -> str:
     """Render the Table II reproduction, optionally next to the paper's values."""
-    rows = rows if rows is not None else run()
+    rows = unwrap(rows) if rows is not None else unwrap(run())
     title = format_title("Table II -- WCTT (cycles) for different mesh sizes, 1-flit packets")
     body = format_table([r.as_dict() for r in rows])
     sections = [title, body]

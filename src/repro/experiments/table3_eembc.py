@@ -22,7 +22,8 @@ from statistics import mean
 from typing import Dict, List, Optional, Sequence
 
 from ..analysis.reporting import format_grid, format_key_values, format_title
-from ..core.config import NoCConfig, regular_mesh_config, waw_wap_config
+from ..api import Scenario, experiment, unwrap
+from ..core.config import NoCConfig
 from ..core.ubd import MemoryTiming, UBDTable
 from ..geometry import Coord
 from ..manycore.wcet_mode import wcet_of_profile
@@ -70,7 +71,28 @@ class Table3Result:
             "mean ratio": mean(values),
         }
 
+    def as_rows(self) -> List[Dict[str, object]]:
+        """One row per core, for the machine-readable result exports."""
+        return [
+            {
+                "x": core.x,
+                "y": core.y,
+                "normalized_wcet_ratio": self.normalized[core],
+            }
+            for core in self.cores
+        ]
 
+
+@experiment(
+    "table3",
+    description="Table III -- per-core normalized WCET of EEMBC on an 8x8 mesh",
+    paper_reference="Table III",
+    quick_params={"mesh_size": 4},
+    sweep_axes={
+        "size": lambda v: {"mesh_size": v},
+        "packet_flits": lambda v: {"max_packet_flits": v},
+    },
+)
 def run(
     *,
     mesh_size: int = 8,
@@ -93,12 +115,12 @@ def run(
     regular_cfg = (
         regular_config
         if regular_config is not None
-        else regular_mesh_config(mesh_size, max_packet_flits=max_packet_flits)
+        else Scenario.mesh(mesh_size).regular().max_packet_flits(max_packet_flits).build()
     )
     waw_cfg = (
         waw_config
         if waw_config is not None
-        else waw_wap_config(mesh_size, max_packet_flits=max_packet_flits)
+        else Scenario.mesh(mesh_size).waw_wap().max_packet_flits(max_packet_flits).build()
     )
     if regular_cfg.mesh != waw_cfg.mesh:
         raise ValueError("both design points must use the same mesh")
@@ -129,7 +151,7 @@ def run(
 
 def report(result: Optional[Table3Result] = None) -> str:
     """Render the normalized WCET grid in the paper's layout."""
-    result = result if result is not None else run()
+    result = unwrap(result) if result is not None else unwrap(run())
     title = format_title(
         "Table III -- normalized WCET per core of EEMBC with WaW+WaP (ratio vs regular wNoC)"
     )

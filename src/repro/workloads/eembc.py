@@ -13,7 +13,9 @@ the WCET-computation mode, normalised between the two NoC designs -- depends
 only on each benchmark's ratio of compute cycles to NoC round trips, which is
 exactly what these profiles encode.  The absolute instruction counts are
 scaled down so that the companion cycle-accurate simulations stay fast; the
-WCET ratios are unaffected by that scaling (see DESIGN.md §5).
+WCET ratios are unaffected by that scaling (the WCET-computation mode charges
+every memory operation the same upper-bound delay, so ratios only depend on
+the compute-to-communication mix).
 """
 
 from __future__ import annotations

@@ -5,7 +5,7 @@ Two granularities are supported, matching what the paper's experiments need:
 * :class:`TaskProfile` -- a *profile-driven* single-threaded workload
   characterised by instruction count, base CPI and memory-operation
   densities.  This is how the EEMBC-like benchmarks are described (the
-  original binaries are proprietary; see DESIGN.md §5) and it is all the
+  original binaries are proprietary; see :mod:`repro.workloads.eembc`) and it is all the
   WCET-computation-mode experiments need, because in that mode every memory
   operation is charged the same upper-bound delay.
 * :class:`AccessTrace` -- an *address-level* workload: an explicit sequence

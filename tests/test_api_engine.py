@@ -1,0 +1,200 @@
+"""Tests of the batch engine (caching, fan-out, export) and the new CLI."""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+import os
+
+import pytest
+
+from repro.api import BatchEngine, BatchJob, config_hash
+from repro.experiments.runner import main, run_experiment
+
+
+class TestConfigHash:
+    def test_deterministic_and_param_sensitive(self):
+        job = BatchJob("table2", {"sizes": (2, 3)})
+        assert config_hash(job) == config_hash(BatchJob("table2", {"sizes": (2, 3)}))
+        assert config_hash(job) != config_hash(BatchJob("table2", {"sizes": (2, 4)}))
+        assert config_hash(job) != config_hash(BatchJob("table1", {"sizes": (2, 3)}))
+        assert config_hash(job) != config_hash(BatchJob("table2", {"sizes": (2, 3)}, quick=True))
+
+    def test_handles_non_json_values(self):
+        from repro.api import Scenario
+
+        config = Scenario.mesh(2).waw_wap().build()
+        digest = config_hash(BatchJob("area", {"config": config}))
+        assert digest == config_hash(BatchJob("area", {"config": config}))
+
+
+class TestEngineCaching:
+    def test_memory_cache_hit(self):
+        engine = BatchEngine()
+        first = engine.run(BatchJob("table1"))
+        second = engine.run(BatchJob("table1"))
+        assert not first.cached
+        assert second.cached
+        assert second.result is first.result
+
+    def test_disk_cache_survives_engine_restart(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        first = BatchEngine(cache_dir=cache_dir).run(BatchJob("table2", {"sizes": (2,)}))
+        assert not first.cached
+        assert os.path.exists(os.path.join(cache_dir, f"{first.config_hash}.json"))
+
+        second = BatchEngine(cache_dir=cache_dir).run(BatchJob("table2", {"sizes": (2,)}))
+        assert second.cached
+        assert second.result.from_cache
+        assert second.result.rows() == first.result.to_dict()["rows"]
+
+    def test_no_cache_recomputes(self):
+        engine = BatchEngine(use_cache=False)
+        engine.run(BatchJob("table1"))
+        assert not engine.run(BatchJob("table1")).cached
+
+    def test_duplicate_jobs_in_one_batch_computed_once(self):
+        engine = BatchEngine(use_cache=False)
+        results = engine.run_many([BatchJob("table1"), BatchJob("table1")])
+        assert [r.cached for r in results] == [False, True]
+
+    def test_cached_results_enumerates_disk_cache(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        engine = BatchEngine(cache_dir=cache_dir)
+        engine.run_many([BatchJob("table1"), BatchJob("table2", {"sizes": (2,)})])
+        listed = BatchEngine(cache_dir=cache_dir).cached_results()
+        assert {r.job.experiment for r in listed} == {"table1", "table2"}
+
+
+class TestEngineParallel:
+    def test_parallel_jobs_match_serial(self):
+        jobs = [BatchJob("table2", {"sizes": (size,)}) for size in (2, 3, 4)]
+        serial = BatchEngine(jobs=1, use_cache=False).run_many(jobs)
+        parallel = BatchEngine(jobs=3, use_cache=False).run_many(jobs)
+        assert [r.result.to_dict()["rows"] for r in serial] == [
+            r.result.to_dict()["rows"] for r in parallel
+        ]
+
+    def test_sweep_expands_axes_through_registry(self):
+        engine = BatchEngine(use_cache=False)
+        results = engine.sweep("table2", size=(2, 3))
+        assert [r.job.params for r in results] == [{"sizes": (2,)}, {"sizes": (3,)}]
+        assert all(len(r.result.rows()) == 1 for r in results)
+
+    def test_sweep_rejects_unsupported_axis(self):
+        with pytest.raises(ValueError, match="cannot sweep axis"):
+            BatchEngine().sweep("table1", packet_flits=(1, 4))
+
+    def test_sweep_rejects_empty_axis(self):
+        with pytest.raises(ValueError, match="no values"):
+            BatchEngine().sweep("table2", size=())
+
+
+class TestEngineExport:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return BatchEngine().sweep("table2", size=(2, 3))
+
+    def test_json_export(self, results):
+        data = json.loads(BatchEngine.to_json(results))
+        assert len(data) == 2
+        for entry in data:
+            assert entry["experiment"] == "table2"
+            assert entry["config_hash"]
+            assert entry["rows"]
+
+    def test_csv_export(self, results):
+        parsed = list(csv.reader(io.StringIO(BatchEngine.to_csv(results))))
+        header, rows = parsed[0], parsed[1:]
+        assert header[:2] == ["experiment", "config_hash"]
+        assert "NxM" in header
+        assert len(rows) == 2
+
+
+class TestCLI:
+    def test_list_subcommand(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table2" in out and "validation" in out
+
+    def test_list_json(self, capsys):
+        assert main(["list", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert {entry["name"] for entry in data} >= {"table1", "table2"}
+
+    def test_run_emits_valid_json_on_stdout(self, capsys):
+        assert main(["run", "table2", "--quick", "--json", "-"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data[0]["experiment"] == "table2"
+        assert data[0]["rows"]
+
+    def test_run_text_report_unchanged(self, capsys):
+        assert main(["run", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out and "completed in" in out
+
+    def test_run_rejects_unknown_name_with_suggestion(self, capsys):
+        assert main(["run", "tabel2"]) == 2
+        err = capsys.readouterr().err
+        assert "did you mean" in err and "table2" in err
+
+    def test_sweep_subcommand_with_cache(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        args = ["sweep", "--sizes", "2,3", "--jobs", "2", "--cache-dir", cache_dir]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert "config hash" in first
+        assert main(args) == 0
+        second = capsys.readouterr().out
+        assert "True" in second  # every design point now comes from the cache
+
+    def test_sweep_requires_an_axis(self, capsys):
+        assert main(["sweep"]) == 2
+        assert "at least one axis" in capsys.readouterr().err
+
+    def test_export_subcommand(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        assert main(["run", "table1", "--cache-dir", cache_dir]) == 0
+        capsys.readouterr()
+        assert main(["export", "--cache-dir", cache_dir, "--json", "-"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data[0]["experiment"] == "table1"
+
+    def test_export_empty_cache_fails(self, tmp_path, capsys):
+        assert main(["export", "--cache-dir", str(tmp_path / "empty")]) == 1
+
+    def test_legacy_list_flag(self, capsys):
+        assert main(["--list"]) == 0
+        assert "table2" in capsys.readouterr().out
+
+    def test_list_flag_does_not_hijack_subcommands(self, capsys):
+        # 'run ... --list' must not be rewritten to a bare 'list'.
+        with pytest.raises(SystemExit):
+            main(["run", "table1", "--list"])
+        assert "unrecognized arguments" in capsys.readouterr().err
+
+    def test_jobs_must_be_positive(self, capsys):
+        assert main(["run", "table1", "--jobs", "0"]) == 2
+        assert "jobs" in capsys.readouterr().err
+
+    def test_cache_hit_rows_keep_their_shape(self, tmp_path):
+        # Disk-cache hits rebuild payloads as row dicts; rows() is the
+        # shape-stable accessor either way.
+        cache_dir = str(tmp_path / "cache")
+        fresh = BatchEngine(cache_dir=cache_dir).run(BatchJob("table2", {"sizes": (2,)}))
+        hit = BatchEngine(cache_dir=cache_dir).run(BatchJob("table2", {"sizes": (2,)}))
+        assert fresh.result.rows() == hit.result.rows()
+        assert hit.result.rows()[0]["regular max"] == fresh.result[0].regular.maximum
+
+    def test_legacy_positional_names(self, capsys):
+        assert main(["table1", "--quick"]) == 0
+        assert "Table I" in capsys.readouterr().out
+
+    def test_legacy_unknown_name_exit_code(self):
+        assert main(["bogus"]) == 2
+
+    def test_run_experiment_helper(self):
+        assert "Table I" in run_experiment("table1", quick=True)
+        with pytest.raises(KeyError):
+            run_experiment("table42")

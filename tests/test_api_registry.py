@@ -1,0 +1,180 @@
+"""Tests of the decorator registry and the ExperimentResult protocol."""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.api import (
+    ExperimentResult,
+    UnknownExperimentError,
+    experiment,
+    get_experiment,
+    list_experiments,
+    unwrap,
+)
+
+ALL_EXPERIMENTS = {
+    "table1", "table2", "table3", "fig2a", "fig2b",
+    "avgperf", "area", "ablation", "validation",
+}
+
+#: Small-but-representative parameters so the full-suite round trip is fast.
+FAST_PARAMS = {
+    "table3": {"mesh_size": 3},
+    # fig2a/fig2b keep the default 8x8 mesh: the 16-thread 3DPP placements
+    # are only defined for meshes that can host them.
+    "fig2a": {"packet_sizes": (1, 4)},
+    "avgperf": {
+        "mesh_size": 3, "profile_scale": 0.0005, "parallel_threads": 4,
+        "parallel_phases": 1, "parallel_loads_per_phase": 10,
+        "parallel_compute_per_phase": 500,
+    },
+    "ablation": {"mesh_size": 3},
+    "validation": {"mesh_sizes": (3,), "congestion_cycles": 300},
+    "table2": {"sizes": (2, 3)},
+}
+
+
+class TestDiscovery:
+    def test_all_nine_experiments_registered(self):
+        assert {spec.name for spec in list_experiments()} == ALL_EXPERIMENTS
+
+    def test_specs_carry_metadata(self):
+        for spec in list_experiments():
+            assert spec.description
+            assert spec.paper_reference
+            assert spec.module.startswith("repro.experiments.")
+
+    def test_round_trip_name_to_spec(self):
+        for name in ALL_EXPERIMENTS:
+            assert get_experiment(name).name == name
+
+    def test_unknown_name_raises_key_error_with_suggestions(self):
+        with pytest.raises(UnknownExperimentError) as excinfo:
+            get_experiment("tabel2")
+        assert isinstance(excinfo.value, KeyError)
+        assert "table2" in str(excinfo.value)
+        assert "table2" in excinfo.value.suggestions
+
+    def test_unknown_name_without_close_match_lists_known(self):
+        with pytest.raises(UnknownExperimentError) as excinfo:
+            get_experiment("zzzzz")
+        assert "known experiments" in str(excinfo.value)
+
+
+class TestRunWrapping:
+    def test_run_returns_experiment_result(self):
+        result = get_experiment("table1").run()
+        assert isinstance(result, ExperimentResult)
+        assert result.experiment == "table1"
+        assert result.paper_reference == "Table I"
+
+    def test_params_recorded(self):
+        result = get_experiment("table2").run(sizes=(2, 3))
+        assert result.params == {"sizes": (2, 3)}
+
+    def test_quick_merges_and_overrides(self):
+        spec = get_experiment("table2")
+        result = spec.run(quick=True)
+        assert result.params == {"sizes": (2, 3, 4)}
+        overridden = spec.run(quick=True, sizes=(2,))
+        assert overridden.params == {"sizes": (2,)}
+
+    def test_payload_delegation_keeps_old_call_sites_working(self):
+        result = get_experiment("table2").run(sizes=(2, 3))
+        assert len(result) == 2
+        assert [row.mesh for row in result] == ["2x2", "3x3"]
+        assert result[-1].improvement_at_max > 0
+        assert bool(result)
+
+    def test_attribute_delegation_to_grid_payload(self):
+        result = get_experiment("table3").run(mesh_size=3)
+        assert result.mesh_width == 3
+        assert len(result.cores) == 8  # 3x3 minus the memory controller
+        with pytest.raises(AttributeError, match="table3"):
+            result.no_such_attribute
+
+    def test_unwrap_returns_native_payload(self):
+        result = get_experiment("table1").run()
+        payload = unwrap(result)
+        assert isinstance(payload, list)
+        assert unwrap(payload) is payload
+
+    def test_report_is_a_pure_view(self):
+        spec = get_experiment("table2")
+        result = spec.run(sizes=(2, 3))
+        assert spec.report(result) == spec.report(result)
+        assert "Table II" in spec.report(result)
+
+    def test_decorator_records_spec_on_function(self):
+        from repro.experiments import table2_wctt
+
+        assert table2_wctt.run.spec is get_experiment("table2")
+
+
+class TestSerializationRoundTrip:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return {
+            spec.name: spec.run(**FAST_PARAMS.get(spec.name, {}))
+            for spec in list_experiments()
+        }
+
+    def test_json_round_trip_for_every_experiment(self, results):
+        for name, result in results.items():
+            data = json.loads(result.to_json())
+            assert data["experiment"] == name
+            assert data["paper_reference"]
+            assert data["rows"], f"{name} exported no rows"
+            for row in data["rows"]:
+                assert isinstance(row, dict) and row
+
+    def test_rows_are_homogeneous(self, results):
+        for name, result in results.items():
+            rows = result.to_dict()["rows"]
+            keys = {tuple(sorted(row)) for row in rows}
+            assert len(keys) == 1, f"{name} rows are not homogeneous"
+
+    def test_csv_round_trip_for_every_experiment(self, results):
+        for name, result in results.items():
+            header, rows = result.to_csv_rows()
+            assert header and rows
+            buffer = io.StringIO()
+            writer = csv.writer(buffer)
+            writer.writerow(header)
+            writer.writerows(rows)
+            parsed = list(csv.reader(io.StringIO(buffer.getvalue())))
+            assert len(parsed) == len(rows) + 1
+            assert parsed[0] == header
+
+    def test_from_dict_rebuilds_rows_only_result(self, results):
+        result = results["table2"]
+        rebuilt = ExperimentResult.from_dict(json.loads(result.to_json()))
+        assert rebuilt.from_cache
+        assert rebuilt.experiment == "table2"
+        assert rebuilt.rows() == result.to_dict()["rows"]
+
+
+class TestDecorator:
+    def test_custom_experiment_registers_and_wraps(self):
+        @experiment(
+            "_test_tmp",
+            description="temporary test experiment",
+            paper_reference="none",
+        )
+        def run(*, value: int = 1):
+            return [{"value": value}]
+
+        try:
+            spec = get_experiment("_test_tmp")
+            result = spec.run(value=3)
+            assert isinstance(result, ExperimentResult)
+            assert result.rows() == [{"value": 3}]
+        finally:
+            from repro.api import registry
+
+            registry._REGISTRY.pop("_test_tmp", None)

@@ -1,0 +1,147 @@
+"""Tests of the fluent Scenario builder and the sweep() grid expansion."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import Scenario, ScenarioError, sweep
+from repro.core import regular_mesh_config, waw_wap_config
+from repro.core.config import ArbitrationPolicy, PacketizationPolicy
+from repro.geometry import Coord
+
+
+class TestScenarioBuild:
+    def test_regular_matches_legacy_constructor(self):
+        built = Scenario.mesh(8).regular().max_packet_flits(4).build()
+        assert built == regular_mesh_config(8, max_packet_flits=4)
+
+    def test_waw_wap_matches_legacy_constructor(self):
+        built = Scenario.mesh(4).waw_wap().max_packet_flits(1).build()
+        assert built == waw_wap_config(4, max_packet_flits=1)
+
+    def test_defaults_match_regular_mesh(self):
+        assert Scenario.mesh(4).build() == regular_mesh_config(4)
+
+    def test_rectangular_mesh(self):
+        config = Scenario.mesh(4, 2).build()
+        assert config.mesh.width == 4 and config.mesh.height == 2
+
+    def test_all_knobs(self):
+        config = (
+            Scenario.mesh(6)
+            .waw_wap()
+            .max_packet_flits(8)
+            .min_packet_flits(2)
+            .buffer_depth(2)
+            .memory_controller(5, 5)
+            .timing(routing_latency=2, link_latency=2)
+            .build()
+        )
+        assert config.max_packet_flits == 8
+        assert config.min_packet_flits == 2
+        assert config.buffer_depth == 2
+        assert config.memory_controller == Coord(5, 5)
+        assert config.timing.routing_latency == 2
+        assert config.timing.link_latency == 2
+        assert config.timing.flit_cycle == 1  # untouched default
+
+    def test_ablation_designs(self):
+        waw = Scenario.mesh(4).waw_only().build()
+        assert waw.arbitration is ArbitrationPolicy.WEIGHTED_ROUND_ROBIN
+        assert waw.packetization is PacketizationPolicy.SINGLE_PACKET
+        wap = Scenario.mesh(4).wap_only().build()
+        assert wap.arbitration is ArbitrationPolicy.ROUND_ROBIN
+        assert wap.packetization is PacketizationPolicy.MINIMUM_SIZE_PACKETS
+
+    def test_builder_is_immutable(self):
+        base = Scenario.mesh(4)
+        derived = base.waw_wap().max_packet_flits(8)
+        assert base.build() == regular_mesh_config(4)
+        assert derived.build() != base.build()
+
+    def test_label_is_deterministic(self):
+        label = Scenario.mesh(8).waw_wap().max_packet_flits(1).label()
+        assert label == "waw_wap-8x8-L1"
+
+
+class TestScenarioValidation:
+    def test_rejects_zero_mesh(self):
+        with pytest.raises(ScenarioError):
+            Scenario.mesh(0)
+
+    def test_rejects_non_integer_knob(self):
+        with pytest.raises(ScenarioError):
+            Scenario.mesh(4).max_packet_flits("big")
+
+    def test_rejects_zero_packet_flits(self):
+        with pytest.raises(ScenarioError):
+            Scenario.mesh(4).max_packet_flits(0)
+
+    def test_rejects_unknown_design(self):
+        with pytest.raises(ScenarioError, match="unknown design"):
+            Scenario.mesh(4).design("turbo")
+
+    def test_rejects_min_above_max_at_build(self):
+        scenario = Scenario.mesh(4).max_packet_flits(2).min_packet_flits(4)
+        with pytest.raises(ScenarioError, match="min_packet_flits"):
+            scenario.build()
+
+    def test_rejects_memory_controller_outside_mesh(self):
+        with pytest.raises(ScenarioError):
+            Scenario.mesh(2).memory_controller(5, 5).build()
+
+    def test_rejects_invalid_timing(self):
+        with pytest.raises(ScenarioError):
+            Scenario.mesh(4).timing(routing_latency=0)
+
+    def test_scenario_error_is_value_error(self):
+        assert issubclass(ScenarioError, ValueError)
+
+
+class TestSweep:
+    def test_cartesian_product_order(self):
+        points = sweep(mesh=(2, 3), design=("regular", "waw_wap"))
+        labels = [p.label() for p in points]
+        assert labels == [
+            "regular-2x2",
+            "waw_wap-2x2",
+            "regular-3x3",
+            "waw_wap-3x3",
+        ]
+
+    def test_base_scenario_is_preserved(self):
+        base = Scenario.mesh(8).waw_wap().buffer_depth(2)
+        points = sweep(base, max_packet_flits=(1, 4))
+        assert all(p.build().buffer_depth == 2 for p in points)
+        assert [p.build().max_packet_flits for p in points] == [1, 4]
+
+    def test_scalar_axis_values_allowed(self):
+        points = sweep(mesh=4, design="waw_wap")
+        assert len(points) == 1
+        assert points[0].build() == waw_wap_config(4)
+
+    def test_mesh_axis_tuple_is_two_sizes_list_wraps_rectangles(self):
+        assert [p.label() for p in sweep(mesh=(8, 4))] == ["regular-8x8", "regular-4x4"]
+        assert [p.label() for p in sweep(mesh=[(8, 4)])] == ["regular-8x4"]
+
+    def test_built_configs_match_legacy_constructors(self):
+        points = sweep(mesh=(2, 4), max_packet_flits=(1, 8))
+        configs = [p.build() for p in points]
+        assert configs[0] == regular_mesh_config(2, max_packet_flits=1)
+        assert configs[-1] == regular_mesh_config(4, max_packet_flits=8)
+
+    def test_rejects_empty_grid(self):
+        with pytest.raises(ScenarioError, match="at least one axis"):
+            sweep()
+
+    def test_rejects_unknown_axis(self):
+        with pytest.raises(ScenarioError, match="unknown sweep axis"):
+            sweep(mesh=(2,), frequency=(1, 2))
+
+    def test_rejects_empty_axis(self):
+        with pytest.raises(ScenarioError, match="no values"):
+            sweep(mesh=())
+
+    def test_rejects_missing_mesh_without_base(self):
+        with pytest.raises(ScenarioError, match="mesh"):
+            sweep(max_packet_flits=(1, 4))
