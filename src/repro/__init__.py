@@ -1,10 +1,13 @@
 """Reproduction of *Improving Performance Guarantees in Wormhole Mesh NoC
 Designs* (Panic et al., DATE 2016).
 
-The package is organised in six layers:
+The package is organised in seven layers:
 
-* :mod:`repro.geometry` / :mod:`repro.routing` -- mesh coordinates, ports and
-  XY routing, shared by everything else;
+* :mod:`repro.geometry` -- coordinates and ports, shared by everything else;
+* :mod:`repro.topology` -- the pluggable network structure: the
+  :class:`Topology` interface with mesh / torus / ring / concentrated-mesh
+  implementations and XY/YX dimension-ordered routing strategies
+  (:mod:`repro.routing` remains as thin compatibility wrappers);
 * :mod:`repro.core` -- the paper's contribution: WaP packetization, WaW
   weighted arbitration, the time-composable WCTT analyses, per-core upper
   bound delays and the router area model;
@@ -36,6 +39,16 @@ See README.md for installation, the experiment index and the full tour.
 """
 
 from .geometry import Coord, Mesh, Port
+from .topology import (
+    ConcentratedMesh,
+    Mesh2D,
+    Ring,
+    RoutingStrategy,
+    Topology,
+    Torus2D,
+    as_topology,
+    make_topology,
+)
 from .routing import Hop, xy_output_port, xy_route
 from .api import (
     BatchEngine,
@@ -73,12 +86,20 @@ from .core import (
 from .noc import Network
 from .manycore import ManycoreSystem, Placement, standard_placements
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Coord",
     "Mesh",
     "Port",
+    "Topology",
+    "RoutingStrategy",
+    "Mesh2D",
+    "Torus2D",
+    "Ring",
+    "ConcentratedMesh",
+    "as_topology",
+    "make_topology",
     "Hop",
     "xy_output_port",
     "xy_route",

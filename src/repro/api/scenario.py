@@ -12,10 +12,19 @@ validates its argument eagerly and :meth:`Scenario.build` produces a regular
 :class:`~repro.core.config.NoCConfig`, so the analytical models and the
 simulator are unaffected by how a design point was described.
 
+The network structure itself is a scenario axis: :meth:`Scenario.topology`
+selects any registered topology (mesh, torus, ring, concentrated mesh) and
+its routing strategy, so a whole structural design space sweeps through the
+same analytical models and the same cycle-accurate simulator::
+
+    torus = Scenario.mesh(8).topology("torus").waw_wap().build()
+    cmesh = Scenario.mesh(4).topology("cmesh", concentration=4).build()
+
 :func:`sweep` expands parameter grids into design-point lists::
 
     points = sweep(Scenario.mesh(4), design=("regular", "waw_wap"),
                    max_packet_flits=(1, 4, 8))
+    shapes = sweep(Scenario.mesh(4), topology=("mesh", "torus"))
 
 yielding the cartesian product in deterministic (row-major) order.
 """
@@ -33,6 +42,7 @@ from ..core.config import (
     RouterTiming,
 )
 from ..geometry import Coord, Mesh
+from ..topology import make_topology
 
 __all__ = ["Scenario", "ScenarioError", "sweep"]
 
@@ -101,6 +111,46 @@ class Scenario:
         return self.design("wap")
 
     # ------------------------------------------------------------------
+    # Topology selection
+    # ------------------------------------------------------------------
+    def topology(
+        self,
+        kind: str,
+        *,
+        routing: str = "xy",
+        concentration: Optional[int] = None,
+    ) -> "Scenario":
+        """Select the network structure and routing strategy.
+
+        ``kind`` is a registered topology name (``mesh``, ``torus``,
+        ``ring``, ``cmesh``); ``routing`` picks the dimension order (``xy``
+        or ``yx``); ``concentration`` (terminals per router, >= 1) is only
+        accepted for ``cmesh``.  A ring needs a single-row scenario
+        (``Scenario.mesh(n, 1)``).  Every parameter is validated eagerly --
+        by actually constructing the topology through
+        :func:`repro.topology.make_topology`, the single source of truth --
+        and structural inconsistencies surface as :class:`ScenarioError`.
+        """
+        try:
+            make_topology(
+                kind,
+                self._settings["mesh_width"],
+                self._settings["mesh_height"],
+                routing=routing,
+                concentration=concentration,
+            )
+        except ValueError as exc:
+            raise ScenarioError(str(exc)) from None
+        # Re-selecting the topology resets any cmesh-only leftovers, so a
+        # sweep over the topology axis from a cmesh base stays consistent.
+        merged = dict(self._settings)
+        merged.pop("concentration", None)
+        merged.update({"topology": kind, "routing": routing})
+        if concentration is not None:
+            merged["concentration"] = concentration
+        return Scenario(merged)
+
+    # ------------------------------------------------------------------
     # Knobs
     # ------------------------------------------------------------------
     def max_packet_flits(self, flits: int) -> "Scenario":
@@ -158,6 +208,11 @@ class Scenario:
         """A short deterministic label, e.g. ``waw_wap-8x8-L1``."""
         s = self._settings
         parts = [s.get("design", "regular"), f"{s['mesh_width']}x{s['mesh_height']}"]
+        kind = s.get("topology", "mesh")
+        if kind != "mesh":
+            parts.append(kind + (f"{s['concentration']}" if "concentration" in s else ""))
+        if s.get("routing", "xy") != "xy":
+            parts.append(s["routing"])
         if "max_packet_flits" in s:
             parts.append(f"L{s['max_packet_flits']}")
         if "min_packet_flits" in s:
@@ -171,7 +226,21 @@ class Scenario:
         s = self._settings
         if "mesh_width" not in s:
             raise ScenarioError("a scenario needs a mesh; start from Scenario.mesh(width)")
-        mesh = Mesh(s["mesh_width"], s["mesh_height"])
+        if "topology" in s or "routing" in s:
+            # An explicit topology/routing choice builds a Topology object;
+            # the default path keeps the seed's plain Mesh representation.
+            try:
+                mesh: Mesh = make_topology(
+                    s.get("topology", "mesh"),
+                    s["mesh_width"],
+                    s["mesh_height"],
+                    routing=s.get("routing", "xy"),
+                    concentration=s.get("concentration"),
+                )
+            except ValueError as exc:
+                raise ScenarioError(f"invalid scenario {self.label()}: {exc}") from None
+        else:
+            mesh = Mesh(s["mesh_width"], s["mesh_height"])
         arbitration, packetization = _DESIGNS[s.get("design", "regular")]
         kwargs: Dict[str, Any] = {
             "mesh": mesh,
@@ -211,10 +280,37 @@ class Scenario:
         return Scenario(merged)
 
 
+def _apply_topology(scenario: "Scenario", value: Any) -> "Scenario":
+    """Apply one topology-axis value: a kind name or a keyword mapping.
+
+    ``topology=("mesh", "torus")`` sweeps kinds; a mapping spells out the
+    full choice, e.g. ``topology=[{"kind": "cmesh", "concentration": 2},
+    {"kind": "mesh", "routing": "yx"}]``.
+    """
+    if isinstance(value, str):
+        return scenario.topology(value)
+    if isinstance(value, Mapping):
+        params = dict(value)
+        kind = params.pop("kind", None)
+        if kind is None:
+            raise ScenarioError("a topology mapping needs a 'kind' entry")
+        try:
+            return scenario.topology(kind, **params)
+        except TypeError:
+            raise ScenarioError(
+                f"unknown topology parameter in {dict(value)!r}; "
+                "known parameters: kind, routing, concentration"
+            ) from None
+    raise ScenarioError(
+        f"topology axis values must be kind names or mappings, got {value!r}"
+    )
+
+
 #: sweep() axis name -> Scenario method applying one value of that axis.
 _SWEEP_AXES = {
     "mesh": lambda sc, v: _apply_mesh(sc, v),
     "design": lambda sc, v: sc.design(v),
+    "topology": lambda sc, v: _apply_topology(sc, v),
     "max_packet_flits": lambda sc, v: sc.max_packet_flits(v),
     "min_packet_flits": lambda sc, v: sc.min_packet_flits(v),
     "buffer_depth": lambda sc, v: sc.buffer_depth(v),
@@ -240,8 +336,10 @@ def sweep(base: Optional[Scenario] = None, **grid: Any) -> List[Scenario]:
 
     ``base`` provides the fixed part of every design point; each keyword is
     one axis of the grid and may be a single value or an iterable of values.
-    Axes: ``mesh``, ``design``, ``max_packet_flits``, ``min_packet_flits``,
-    ``buffer_depth`` and ``memory_controller`` (an ``(x, y)`` pair).
+    Axes: ``mesh``, ``design``, ``topology`` (kind names or mappings like
+    ``{"kind": "cmesh", "concentration": 2}``), ``max_packet_flits``,
+    ``min_packet_flits``, ``buffer_depth`` and ``memory_controller`` (an
+    ``(x, y)`` pair).
 
     Mesh axis values are square sizes; a bare 2-tuple of ints is two square
     sizes (``mesh=(8, 4)`` is an 8x8 and a 4x4).  Rectangular meshes must be
@@ -283,6 +381,9 @@ def sweep(base: Optional[Scenario] = None, **grid: Any) -> List[Scenario]:
 
 def _axis_values(name: str, values: Any) -> List[Any]:
     if isinstance(values, (str, bytes)):
+        return [values]
+    if name == "topology" and isinstance(values, Mapping):
+        # A single mapping is one axis value, not an iterable of keys.
         return [values]
     if name == "mesh" and isinstance(values, tuple) and len(values) == 2 and all(
         isinstance(v, int) for v in values

@@ -24,6 +24,7 @@ from enum import Enum
 from typing import Optional
 
 from ..geometry import Coord, Mesh
+from ..topology.base import Topology, as_topology
 
 __all__ = [
     "ArbitrationPolicy",
@@ -147,7 +148,14 @@ class MessageConfig:
 
 @dataclass(frozen=True)
 class NoCConfig:
-    """Complete description of a wormhole mesh NoC design point."""
+    """Complete description of a wormhole NoC design point.
+
+    ``mesh`` holds the network structure: either a plain
+    :class:`~repro.geometry.Mesh` (the seed representation, treated as a 2D
+    mesh with XY routing) or any :class:`~repro.topology.Topology`
+    (torus, ring, concentrated mesh, YX routing, ...).  Use the
+    :attr:`topology` property to obtain the normalised topology object.
+    """
 
     mesh: Mesh
     arbitration: ArbitrationPolicy = ArbitrationPolicy.ROUND_ROBIN
@@ -178,6 +186,16 @@ class NoCConfig:
     # ------------------------------------------------------------------
     # Derived properties
     # ------------------------------------------------------------------
+    @property
+    def topology(self) -> Topology:
+        """The network structure as a :class:`~repro.topology.Topology`.
+
+        A plain :class:`~repro.geometry.Mesh` is normalised to the
+        behaviourally identical :class:`~repro.topology.Mesh2D` with XY
+        routing.
+        """
+        return as_topology(self.mesh)
+
     @property
     def is_waw(self) -> bool:
         return self.arbitration is ArbitrationPolicy.WEIGHTED_ROUND_ROBIN
@@ -217,7 +235,7 @@ class NoCConfig:
             "WaW" if self.is_waw else ("WaP" if self.is_wap else "regular")
         )
         return (
-            f"{name} wNoC on a {self.mesh.width}x{self.mesh.height} mesh, "
+            f"{name} wNoC on a {self.topology.describe_short()}, "
             f"L={self.max_packet_flits} flits, m={self.min_packet_flits} flits, "
             f"buffers={self.buffer_depth} flits"
         )

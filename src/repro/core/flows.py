@@ -3,13 +3,16 @@
 A *flow* is a (source, destination) pair of nodes that exchange packets.  The
 WaW arbitration weights of the paper are derived from how many flows (or,
 more precisely, how many distinct *source nodes*) can cross each router port
-under XY routing; this module provides:
+under the topology's deterministic routing; this module provides:
 
-* :class:`Flow` -- a single source/destination pair with its XY route.
+* :class:`Flow` -- a single source/destination pair with its deterministic
+  route through a given topology.
 * :class:`FlowSet` -- a collection of flows with constructors for the traffic
   patterns used in the paper (all-to-all for the generic weight equations,
   all-to-one towards the memory controller for the evaluated manycore) and
-  queries for per-port flow and source counts.
+  queries for per-port flow and source counts.  The ``mesh`` argument may be
+  a plain :class:`~repro.geometry.Mesh` (XY mesh, the seed behaviour) or any
+  :class:`~repro.topology.Topology`.
 
 The distinction between *flow* counts and *source* counts matters: the
 paper's closed-form port weights (Section III) count the number of upstream
@@ -25,7 +28,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
 from ..geometry import Coord, Mesh, Port
-from ..routing import Hop, xy_route
+from ..topology.base import Hop, as_topology
 
 __all__ = ["Flow", "FlowSet", "PortKey"]
 
@@ -45,11 +48,18 @@ class Flow:
             raise ValueError(f"flow source and destination coincide: {self.source}")
 
     def route(self, mesh: Mesh) -> List[Hop]:
-        """XY route of the flow through ``mesh``."""
-        return xy_route(mesh, self.source, self.destination)
+        """Deterministic route of the flow through ``mesh`` (any topology)."""
+        return as_topology(mesh).route(self.source, self.destination)
 
-    def hop_count(self) -> int:
-        """Number of routers crossed (Manhattan distance + 1)."""
+    def hop_count(self, mesh: Optional[Mesh] = None) -> int:
+        """Number of routers crossed.
+
+        Without a topology this is the Manhattan distance + 1 (exact for a
+        mesh, an upper bound for wrapped topologies); pass the topology to
+        get its routed distance instead.
+        """
+        if mesh is not None:
+            return as_topology(mesh).distance(self.source, self.destination) + 1
         return self.source.manhattan(self.destination) + 1
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

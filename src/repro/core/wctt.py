@@ -113,7 +113,9 @@ def wctt_summary(
     )
     return WCTTSummary(
         design=label,
-        mesh=f"{config.mesh.width}x{config.mesh.height}",
+        # ``short_label`` is "WxH" for the plain mesh (seed-identical rows)
+        # and carries the topology kind otherwise (e.g. "4x4 torus").
+        mesh=config.topology.short_label(),
         maximum=max(values),
         average=mean(values),
         minimum=min(values),

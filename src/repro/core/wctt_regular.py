@@ -51,7 +51,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..geometry import Coord, Mesh, Port
-from ..routing import Hop, legal_inputs_for_output, legal_outputs_for_input, xy_route
+from ..topology.base import Hop
 from .config import NoCConfig
 
 __all__ = ["RegularMeshWCTTAnalysis", "ServiceTimeBreakdown", "CONTENDER_POLICIES"]
@@ -99,6 +99,7 @@ class RegularMeshWCTTAnalysis:
     ):
         self.config = config
         self.mesh: Mesh = config.mesh
+        self.topology = config.topology
         self.contender_packet_flits = (
             contender_packet_flits
             if contender_packet_flits is not None
@@ -110,6 +111,14 @@ class RegularMeshWCTTAnalysis:
             raise ValueError(
                 f"contender_policy must be one of {CONTENDER_POLICIES}, got {contender_policy!r}"
             )
+        if contender_policy == "any_direction" and self.topology.has_wraparound:
+            # The destination-agnostic recursion walks every legal downstream
+            # turn; wrap-around links make that walk cyclic (it never reaches
+            # an edge), so the policy is only defined for acyclic topologies.
+            raise ValueError(
+                "the 'any_direction' contender policy requires an edge-bounded "
+                f"topology; use 'merging' on a {self.topology.describe_short()}"
+            )
         self.contender_policy = contender_policy
         self._service_cache: Dict[Tuple[Coord, Port], int] = {}
         self._breakdowns: Dict[Tuple[Coord, Port], ServiceTimeBreakdown] = {}
@@ -119,7 +128,7 @@ class RegularMeshWCTTAnalysis:
     # ------------------------------------------------------------------
     def contender_count(self, router: Coord, out_port: Port) -> int:
         """Number of input ports that may request ``out_port`` (incl. ours)."""
-        return len(legal_inputs_for_output(self.mesh, router, out_port))
+        return len(self.topology.legal_inputs_for_output(router, out_port))
 
     @property
     def _serialization(self) -> int:
@@ -142,13 +151,13 @@ class RegularMeshWCTTAnalysis:
             value = serialization
             breakdown = ServiceTimeBreakdown(router, out_port, 0, value, None)
         else:
-            downstream = self.mesh.downstream(router, out_port)
+            downstream = self.topology.downstream(router, out_port)
             if downstream is None:
-                raise ValueError(f"output port {out_port} of {router} leaves the mesh")
+                raise ValueError(f"output port {out_port} of {router} leaves the topology")
             in_port = out_port  # travel-direction port naming
             worst = 0
             worst_port: Optional[Port] = None
-            for next_out in legal_outputs_for_input(self.mesh, downstream, in_port):
+            for next_out in self.topology.legal_outputs_for_input(downstream, in_port):
                 contenders = self.contender_count(downstream, next_out)
                 next_service = self.service_time_any_direction(downstream, next_out)
                 occupancy = timing.routing_latency + contenders * next_service
@@ -215,7 +224,7 @@ class RegularMeshWCTTAnalysis:
             raise ValueError("packet_flits must be >= 1")
 
         timing = self.config.timing
-        route = xy_route(self.mesh, source, destination)
+        route = self.topology.route(source, destination)
         services = self._route_service_times(route)
         own_serialization = own_flits * timing.flit_cycle
 
@@ -260,7 +269,7 @@ class RegularMeshWCTTAnalysis:
     # ------------------------------------------------------------------
     def zero_load_latency(self, source: Coord, destination: Coord, packet_flits: int = 1) -> int:
         """Latency with no contention at all (lower bound, used by tests)."""
-        route = xy_route(self.mesh, source, destination)
+        route = self.topology.route(source, destination)
         timing = self.config.timing
         hops = len(route)
         return (
@@ -270,4 +279,4 @@ class RegularMeshWCTTAnalysis:
         )
 
     def route(self, source: Coord, destination: Coord) -> List[Hop]:
-        return xy_route(self.mesh, source, destination)
+        return self.topology.route(source, destination)

@@ -30,7 +30,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..geometry import Coord, Mesh, Port
-from ..routing import Hop, xy_route
+from ..topology.base import Hop
 from .config import NoCConfig
 from .flows import FlowSet
 from .weights import WeightTable
@@ -88,6 +88,7 @@ class WaWWaPWCTTAnalysis:
             )
         self.config = config
         self.mesh: Mesh = config.mesh
+        self.topology = config.topology
         self.weights: WeightTable = (
             weight_table
             if weight_table is not None
@@ -165,8 +166,8 @@ class WaWWaPWCTTAnalysis:
 
     def hop_breakdowns(self, source: Coord, destination: Coord) -> List[HopDelayBreakdown]:
         """Per-hop breakdown of the bound of a flow (reports/diagnostics)."""
-        result = []
-        for hop in xy_route(self.mesh, source, destination):
+        result: List[HopDelayBreakdown] = []
+        for hop in self.topology.route(source, destination):
             result.append(
                 HopDelayBreakdown(
                     router=hop.router,
@@ -199,7 +200,7 @@ class WaWWaPWCTTAnalysis:
                 f"({self.config.min_packet_flits} flits); got {packet_flits}"
             )
         total = 0
-        for hop in xy_route(self.mesh, source, destination):
+        for hop in self.topology.route(source, destination):
             total += self.hop_delay(hop.router, hop.in_port, hop.out_port)
         return total
 
@@ -214,7 +215,7 @@ class WaWWaPWCTTAnalysis:
         m = self.config.min_packet_flits
         flit = self.config.timing.flit_cycle
         worst = 0
-        for hop in xy_route(self.mesh, source, destination):
+        for hop in self.topology.route(source, destination):
             worst = max(worst, self.round_flits(hop.router, hop.out_port) * m * flit)
         return worst
 
@@ -245,7 +246,7 @@ class WaWWaPWCTTAnalysis:
     # ------------------------------------------------------------------
     def zero_load_latency(self, source: Coord, destination: Coord, packet_flits: int = 1) -> int:
         """Latency with no contention at all (lower bound, used by tests)."""
-        route = xy_route(self.mesh, source, destination)
+        route = self.topology.route(source, destination)
         timing = self.config.timing
         hops = len(route)
         return (
@@ -255,4 +256,4 @@ class WaWWaPWCTTAnalysis:
         )
 
     def route(self, source: Coord, destination: Coord) -> List[Hop]:
-        return xy_route(self.mesh, source, destination)
+        return self.topology.route(source, destination)

@@ -38,7 +38,7 @@ from fractions import Fraction
 from typing import Dict, Iterable, Mapping, Optional, Tuple
 
 from ..geometry import Coord, Mesh, Port
-from ..routing import legal_inputs_for_output
+from ..topology.base import XY, as_topology
 from .flows import FlowSet
 
 __all__ = [
@@ -128,6 +128,17 @@ def source_port_counts(mesh: Mesh, router: Coord) -> PortCounts:
     return PortCounts(router, inputs, outputs)
 
 
+def _scaled(counts: PortCounts, scale: int) -> PortCounts:
+    """Multiply every port count by ``scale`` (terminals per router)."""
+    if scale == 1:
+        return counts
+    return PortCounts(
+        counts.router,
+        {port: scale * value for port, value in counts.inputs.items()},
+        {port: scale * value for port, value in counts.outputs.items()},
+    )
+
+
 def waw_weight(counts: PortCounts, in_port: Port, out_port: Port) -> Fraction:
     """Paper Eq. 1: ``W = I / O`` as an exact fraction.
 
@@ -161,13 +172,34 @@ class WeightTable:
     # ------------------------------------------------------------------
     @classmethod
     def from_closed_form(cls, mesh: Mesh, *, as_printed: bool = False) -> "WeightTable":
-        """Build from the closed forms (all-to-all traffic assumption).
+        """Build the all-to-all weights for any topology.
 
-        ``as_printed=True`` uses the formulas verbatim from the paper,
-        otherwise the self-consistent source counting is used.
+        For the plain XY mesh the paper's closed forms apply directly
+        (``as_printed=True`` uses the formulas verbatim from the paper,
+        otherwise the self-consistent source counting is used).  For every
+        other topology -- wrap-around links or YX routing invalidate the
+        closed forms -- the same quantities are derived exactly from the
+        all-to-all flow set routed through the topology.  A concentrated
+        mesh scales every count by its ``concentration`` so that one
+        arbitration round serves each *terminal* its guaranteed slot.
         """
+        topology = as_topology(mesh)
+        if topology.has_wraparound or topology.routing is not XY:
+            if as_printed:
+                raise ValueError(
+                    "the paper's printed closed forms only describe the XY mesh; "
+                    f"cannot apply them to a {topology.describe_short()}"
+                )
+            return cls.from_flow_set(FlowSet.all_to_all(mesh))
         counts_fn = paper_port_counts if as_printed else source_port_counts
-        return cls(mesh, {router: counts_fn(mesh, router) for router in mesh.nodes()})
+        scale = topology.terminals_per_node
+        return cls(
+            mesh,
+            {
+                router: _scaled(counts_fn(mesh, router), scale)
+                for router in mesh.nodes()
+            },
+        )
 
     @classmethod
     def from_flow_set(
@@ -187,10 +219,16 @@ class WeightTable:
             if granularity == "source"
             else flow_set.port_flow_count
         )
+        # On a concentrated mesh each coordinate-level flow aggregates the
+        # traffic of a whole cluster, so every count scales by the number of
+        # terminals behind a router.
+        scale = as_topology(mesh).terminals_per_node
         counts_by_router: Dict[Coord, PortCounts] = {}
         for router in mesh.nodes():
-            inputs = {port: count(router, port, "in") for port in mesh.input_ports(router)}
-            outputs = {port: count(router, port, "out") for port in mesh.output_ports(router)}
+            inputs = {port: scale * count(router, port, "in") for port in mesh.input_ports(router)}
+            outputs = {
+                port: scale * count(router, port, "out") for port in mesh.output_ports(router)
+            }
             counts_by_router[router] = PortCounts(router, inputs, outputs)
         return cls(mesh, counts_by_router)
 
@@ -221,7 +259,7 @@ class WeightTable:
         conservation; see :mod:`repro.core.arbitration`).
         """
         counts = self.counts(router)
-        legal = legal_inputs_for_output(self.mesh, router, out_port)
+        legal = as_topology(self.mesh).legal_inputs_for_output(router, out_port)
         return {port: counts.input_count(port) for port in legal}
 
     def table_rows(self, router: Coord) -> Iterable[Tuple[Port, Port, Fraction]]:
@@ -230,10 +268,11 @@ class WeightTable:
         Used to reproduce the paper's Table I.
         """
         counts = self.counts(router)
+        topology = as_topology(self.mesh)
         for out_port in self.mesh.output_ports(router):
             if counts.output_count(out_port) == 0:
                 continue
-            for in_port in legal_inputs_for_output(self.mesh, router, out_port):
+            for in_port in topology.legal_inputs_for_output(router, out_port):
                 weight = waw_weight(counts, in_port, out_port)
                 if weight > 0:
                     yield in_port, out_port, weight
@@ -252,7 +291,7 @@ def round_robin_weight(
     no flow information is given).  Used to reproduce the "Regular Mesh"
     column of the paper's Table I.
     """
-    legal = legal_inputs_for_output(mesh, router, out_port)
+    legal = as_topology(mesh).legal_inputs_for_output(router, out_port)
     if flow_set is not None:
         active = [
             p

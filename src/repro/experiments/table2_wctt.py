@@ -78,6 +78,7 @@ class Table2Row:
     sweep_axes={
         "size": lambda v: {"sizes": (v,)},
         "packet_flits": lambda v: {"packet_flits": v},
+        "topology": lambda v: {"topology": v},
     },
 )
 def run(
@@ -85,13 +86,23 @@ def run(
     sizes: Sequence[int] = (2, 3, 4, 5, 6, 7, 8),
     packet_flits: int = 1,
     destination: Optional[Coord] = None,
+    topology: str = "mesh",
 ) -> List[Table2Row]:
-    """Compute the Table II rows for the requested mesh sizes."""
+    """Compute the Table II rows for the requested mesh sizes.
+
+    ``topology`` extends the table beyond the paper: any registered topology
+    kind (``mesh``, ``torus``, ``ring``, ``cmesh``) runs the same analysis,
+    e.g. ``BatchEngine.sweep("table2", topology=("mesh", "torus"))``.  A
+    ring interprets each requested size as its node count.
+    """
     dst = destination if destination is not None else Coord(0, 0)
     rows: List[Table2Row] = []
     for size in sizes:
-        regular_cfg = Scenario.mesh(size).regular().max_packet_flits(packet_flits).build()
-        waw_cfg = Scenario.mesh(size).waw_wap().max_packet_flits(packet_flits).build()
+        base = Scenario.mesh(size, 1 if topology == "ring" else None)
+        if topology != "mesh":
+            base = base.topology(topology)
+        regular_cfg = base.regular().max_packet_flits(packet_flits).build()
+        waw_cfg = base.waw_wap().max_packet_flits(packet_flits).build()
         flows = FlowSet.all_to_one(regular_cfg.mesh, dst)
 
         regular_analysis = make_wctt_analysis(regular_cfg)
@@ -99,7 +110,7 @@ def run(
 
         rows.append(
             Table2Row(
-                mesh=f"{size}x{size}",
+                mesh=regular_cfg.topology.short_label(),
                 regular=wctt_summary(
                     regular_analysis, flows, packet_flits=packet_flits, design_label="regular"
                 ),

@@ -16,8 +16,11 @@ small vocabulary defined here:
   receives flits travelling in the ``+x`` direction (i.e. coming from the
   neighbour at ``(x - 1, y)``), and the ``XPLUS`` output port forwards flits
   towards ``(x + 1, y)``.
-* :class:`Mesh` -- the rectangular topology, responsible for iterating nodes,
-  resolving neighbours and validating coordinates.
+* :class:`Mesh` -- the rectangular node grid, responsible for iterating
+  nodes, resolving neighbours and validating coordinates.  It is the base
+  class of every pluggable :class:`~repro.topology.Topology` (torus, ring,
+  concentrated mesh, ...); routing lives on the topology objects of
+  :mod:`repro.topology`, not here.
 
 Keeping the naming aligned with the paper makes the weight equations of
 Section III and their reproduction in :mod:`repro.core.weights` directly

@@ -1,8 +1,11 @@
-"""The assembled mesh network and its cycle-driven simulation loop.
+"""The assembled network and its cycle-driven simulation loop.
 
 :class:`Network` instantiates one :class:`~repro.noc.router.Router` and one
-:class:`~repro.noc.nic.NIC` per mesh node, wires them together and advances
-the whole system cycle by cycle.  Within a cycle every NIC and every router
+:class:`~repro.noc.nic.NIC` per node of the configuration's topology and
+wires them along the topology's links -- a 2D mesh reproduces the paper's
+system, but any :class:`~repro.topology.Topology` (torus, ring, concentrated
+mesh) wires and simulates the same way, with each router exposing exactly
+the ports its topology gives it.  Within a cycle every NIC and every router
 is evaluated against the *previous* end-of-cycle state and emits events
 (inject, forward, eject, credit); the events are applied once everybody has
 been evaluated, so simulation results do not depend on the order in which
@@ -34,20 +37,24 @@ __all__ = ["Network"]
 
 
 class Network:
-    """A complete wormhole mesh NoC instance."""
+    """A complete wormhole NoC instance on the configured topology."""
 
     def __init__(self, config: NoCConfig, weight_table: Optional[WeightTable] = None):
         self.config = config
         self.mesh = config.mesh
+        self.topology = config.topology
         if config.is_waw and weight_table is None:
-            # Default WaW configuration: the closed-form all-to-all weights.
+            # Default WaW configuration: the all-to-all weights of the
+            # topology (closed-form on the XY mesh, flow-derived elsewhere).
             weight_table = WeightTable.from_closed_form(config.mesh)
         self.weight_table = weight_table
 
         self.routers: Dict[Coord, Router] = {
-            coord: Router(coord, config, weight_table) for coord in self.mesh.nodes()
+            coord: Router(coord, config, weight_table) for coord in self.topology.nodes()
         }
-        self.nics: Dict[Coord, NIC] = {coord: NIC(coord, config) for coord in self.mesh.nodes()}
+        self.nics: Dict[Coord, NIC] = {
+            coord: NIC(coord, config) for coord in self.topology.nodes()
+        }
 
         self.cycle = 0
         self.stats = NetworkStats()
@@ -124,8 +131,12 @@ class Network:
         """Run until the network drains completely; returns the final cycle.
 
         Raises ``RuntimeError`` if the network has not drained after
-        ``max_cycles`` (deadlock or livelock would be a simulator bug: XY
-        routing on a mesh is deadlock-free).
+        ``max_cycles``.  Dimension-ordered routing on a mesh (and on a
+        concentrated mesh) is deadlock-free, so failing to drain there would
+        be a simulator bug; on wrapped topologies (torus, ring) the wrap
+        links close cyclic channel dependencies and heavily loaded traffic
+        *can* genuinely deadlock -- bound the offered load (e.g. bounded
+        outstanding request/reply traffic) when simulating those.
         """
         start = self.cycle
         while not self.is_idle():
@@ -143,9 +154,11 @@ class Network:
             tag = event[0]
             if tag == "forward":
                 _, router, out_port, flit = event
-                downstream = self.mesh.downstream(router.coord, out_port)
+                downstream = self.topology.downstream(router.coord, out_port)
                 if downstream is None:  # pragma: no cover - defensive
-                    raise RuntimeError(f"flit forwarded off-mesh at {router.coord} {out_port}")
+                    raise RuntimeError(
+                        f"flit forwarded off the topology at {router.coord} {out_port}"
+                    )
                 delay = timing.link_latency + (
                     timing.routing_latency if flit.is_head else timing.flit_cycle
                 )
@@ -159,7 +172,7 @@ class Network:
                 if in_port is Port.LOCAL:
                     self.nics[router.coord].return_injection_credit()
                 else:
-                    upstream = self.mesh.upstream(router.coord, in_port)
+                    upstream = self.topology.upstream(router.coord, in_port)
                     if upstream is None:  # pragma: no cover - defensive
                         raise RuntimeError(f"credit towards a missing neighbour at {router.coord}")
                     self.routers[upstream].return_credit(in_port)

@@ -2,8 +2,12 @@
 
 Each router has up to five ports (``X+``, ``X-``, ``Y+``, ``Y-``, ``LOCAL``)
 with one flit FIFO per *input* port, credit-based flow control towards its
-downstream neighbours, XY route computation and one arbiter per *output*
-port.  Wormhole switching is modelled faithfully:
+downstream neighbours and one arbiter per *output* port.  Which ports exist,
+which output a header flit requests and which input ports may legally
+contend for an output all come from the configuration's pluggable
+:class:`~repro.topology.Topology` (mesh, torus, ring, concentrated mesh; XY
+or YX dimension order), so the same router model serves every topology.
+Wormhole switching is modelled faithfully:
 
 * only the **head** flit of a packet takes part in switch allocation;
 * once an input port wins an output port it keeps it until the **tail** flit
@@ -34,7 +38,6 @@ from ..core.arbitration import Arbiter, make_arbiter
 from ..core.config import NoCConfig
 from ..core.weights import WeightTable
 from ..geometry import Coord, Port
-from ..routing import legal_inputs_for_output, xy_output_port
 from .buffer import FlitBuffer
 from .flit import Flit
 
@@ -59,10 +62,11 @@ class Router:
         self.coord = coord
         self.config = config
         self.mesh = config.mesh
+        self.topology = config.topology
         self.timing = config.timing
 
-        self.input_ports: List[Port] = list(self.mesh.input_ports(coord))
-        self.output_ports: List[Port] = list(self.mesh.output_ports(coord))
+        self.input_ports: List[Port] = list(self.topology.input_ports(coord))
+        self.output_ports: List[Port] = list(self.topology.output_ports(coord))
 
         self.buffers: Dict[Port, FlitBuffer] = {
             port: FlitBuffer(config.buffer_depth, name=f"{coord}:{port.value}")
@@ -79,7 +83,7 @@ class Router:
 
         self.arbiters: Dict[Port, Arbiter] = {}
         for out_port in self.output_ports:
-            candidates = legal_inputs_for_output(self.mesh, coord, out_port)
+            candidates = self.topology.legal_inputs_for_output(coord, out_port)
             if not candidates:
                 continue
             weights = (
@@ -165,7 +169,7 @@ class Router:
                 continue
             if self.input_grant[in_port] is not None:
                 continue
-            if xy_output_port(self.coord, flit.destination) is not out_port:
+            if self.topology.output_port(self.coord, flit.destination) is not out_port:
                 continue
             requesters.append(in_port)
         return requesters

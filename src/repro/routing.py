@@ -1,21 +1,31 @@
-"""Dimension-ordered (XY) routing.
+"""Backwards-compatible routing helpers (thin wrappers over ``repro.topology``).
 
-The paper assumes deterministic XY routing: a packet first travels along the
-X dimension until it reaches the destination column and then along the Y
-dimension until it reaches the destination row, where it is ejected through
-the LOCAL (PME) port.  Because the route of a packet is fully determined by
-its source and destination, both the WaW weights and the WCTT analyses can be
-computed statically; this module is the single source of truth for those
-routes, shared by the analytical models (:mod:`repro.core`) and by the
-cycle-accurate simulator (:mod:`repro.noc`).
+Historically this module *was* the single source of truth for routes: it
+hard-coded XY dimension-ordered routing on a 2D mesh.  Since the topology
+extraction, routes, legal turns and route validation live on the pluggable
+:class:`~repro.topology.Topology` objects (see :mod:`repro.topology`); the
+functions here remain as thin delegating wrappers so that existing callers
+-- and code written against the seed API -- keep working unchanged:
+
+* given a plain :class:`~repro.geometry.Mesh` they behave exactly as before
+  (XY routing on the mesh, byte-identical routes);
+* given any :class:`~repro.topology.Topology` they delegate to that
+  topology's own routing, so ``xy_route(topology, src, dst)`` transparently
+  returns a torus/ring/YX route.  New code should call
+  ``topology.route(...)`` / ``topology.legal_inputs_for_output(...)``
+  directly.
+
+Only :func:`xy_output_port` keeps a concrete implementation: it is the pure
+mesh-XY decision function, independent of any topology object, and doubles
+as the reference the ``Mesh2D`` equivalence tests compare against.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import List, Sequence, Tuple
 
 from .geometry import Coord, Mesh, Port
+from .topology.base import Hop, as_topology
 
 __all__ = [
     "Hop",
@@ -27,23 +37,8 @@ __all__ = [
 ]
 
 
-@dataclass(frozen=True)
-class Hop:
-    """One router traversal of a route.
-
-    ``router`` is the router being crossed, ``in_port`` the input port the
-    packet arrives on (``LOCAL`` for the injection router) and ``out_port``
-    the output port the packet leaves through (``LOCAL`` for the ejection
-    router).
-    """
-
-    router: Coord
-    in_port: Port
-    out_port: Port
-
-
 def xy_output_port(current: Coord, destination: Coord) -> Port:
-    """Output port selected by XY routing at ``current`` for ``destination``.
+    """Output port selected by mesh XY routing at ``current`` for ``destination``.
 
     Returns ``Port.LOCAL`` when ``current == destination``.
     """
@@ -59,97 +54,44 @@ def xy_output_port(current: Coord, destination: Coord) -> Port:
 
 
 def xy_route(mesh: Mesh, source: Coord, destination: Coord) -> List[Hop]:
-    """Full XY route from ``source`` to ``destination`` as a list of hops.
+    """Full deterministic route from ``source`` to ``destination``.
 
     The first hop's input port is ``LOCAL`` (injection at the source router)
     and the last hop's output port is ``LOCAL`` (ejection at the destination
     router).  A route from a node to itself is a single hop
     ``Hop(router, LOCAL, LOCAL)``.
     """
-    mesh.require(source)
-    mesh.require(destination)
-
-    hops: List[Hop] = []
-    current = source
-    in_port = Port.LOCAL
-    # The path length is bounded by the Manhattan distance, so the loop below
-    # always terminates; the explicit bound guards against future routing bugs.
-    for _ in range(source.manhattan(destination) + 1):
-        out_port = xy_output_port(current, destination)
-        hops.append(Hop(current, in_port, out_port))
-        if out_port is Port.LOCAL:
-            return hops
-        nxt = mesh.downstream(current, out_port)
-        if nxt is None:  # pragma: no cover - defensive, XY never leaves the mesh
-            raise RuntimeError(f"XY routing left the mesh at {current} via {out_port}")
-        # Travel-direction port naming: the packet enters the next router on
-        # the input port named after its direction of travel.
-        in_port = out_port
-        current = nxt
-    raise RuntimeError(  # pragma: no cover - defensive
-        f"XY route from {source} to {destination} did not terminate"
-    )
+    return as_topology(mesh).route(source, destination)
 
 
 def xy_path_routers(mesh: Mesh, source: Coord, destination: Coord) -> List[Coord]:
-    """Just the sequence of routers crossed by the XY route."""
-    return [hop.router for hop in xy_route(mesh, source, destination)]
+    """Just the sequence of routers crossed by the route."""
+    return as_topology(mesh).route_routers(source, destination)
 
 
-# ----------------------------------------------------------------------
-# Legal turns under XY routing
-# ----------------------------------------------------------------------
-#
-# XY routing forbids any turn from the Y dimension back into the X dimension.
-# These tables answer, for the *time-composable* worst-case analysis, the
-# question "which input ports could possibly hold a packet requesting this
-# output port?", independently of the actual flows in the system.
-
-_LEGAL_INPUTS = {
-    Port.XPLUS: (Port.XPLUS, Port.LOCAL),
-    Port.XMINUS: (Port.XMINUS, Port.LOCAL),
-    Port.YPLUS: (Port.YPLUS, Port.XPLUS, Port.XMINUS, Port.LOCAL),
-    Port.YMINUS: (Port.YMINUS, Port.XPLUS, Port.XMINUS, Port.LOCAL),
-    Port.LOCAL: (Port.XPLUS, Port.XMINUS, Port.YPLUS, Port.YMINUS),
-}
-
-_LEGAL_OUTPUTS = {
-    Port.XPLUS: (Port.XPLUS, Port.YPLUS, Port.YMINUS, Port.LOCAL),
-    Port.XMINUS: (Port.XMINUS, Port.YPLUS, Port.YMINUS, Port.LOCAL),
-    Port.YPLUS: (Port.YPLUS, Port.LOCAL),
-    Port.YMINUS: (Port.YMINUS, Port.LOCAL),
-    Port.LOCAL: (Port.XPLUS, Port.XMINUS, Port.YPLUS, Port.YMINUS, Port.LOCAL),
-}
-
-
-def legal_inputs_for_output(
-    mesh: Mesh, router: Coord, out_port: Port
-) -> Tuple[Port, ...]:
-    """Input ports of ``router`` that may request ``out_port`` under XY routing.
+def legal_inputs_for_output(mesh: Mesh, router: Coord, out_port: Port) -> Tuple[Port, ...]:
+    """Input ports of ``router`` that may request ``out_port``.
 
     Only ports that physically exist at ``router`` are returned (an edge
-    router has no input from outside the mesh).  The LOCAL input is a
-    legitimate contender for every directional output (the local core can
+    router of a mesh has no input from outside the mesh).  The LOCAL input is
+    a legitimate contender for every directional output (the local core can
     inject towards any direction) but never for the LOCAL output (a node does
     not send packets to itself through the network).
     """
-    existing = set(mesh.input_ports(router))
-    return tuple(p for p in _LEGAL_INPUTS[out_port] if p in existing)
+    return as_topology(mesh).legal_inputs_for_output(router, out_port)
 
 
-def legal_outputs_for_input(
-    mesh: Mesh, router: Coord, in_port: Port
-) -> Tuple[Port, ...]:
+def legal_outputs_for_input(mesh: Mesh, router: Coord, in_port: Port) -> Tuple[Port, ...]:
     """Output ports of ``router`` that a packet on ``in_port`` may request."""
-    existing = set(mesh.output_ports(router))
-    return tuple(p for p in _LEGAL_OUTPUTS[in_port] if p in existing)
+    return as_topology(mesh).legal_outputs_for_input(router, in_port)
 
 
 def validate_route(mesh: Mesh, hops: Sequence[Hop]) -> None:
-    """Validate that ``hops`` is a well-formed XY route (used by tests).
+    """Validate that ``hops`` is a well-formed route of ``mesh`` (used by tests).
 
     Raises ``ValueError`` with a description of the first violation found.
     """
+    topology = as_topology(mesh)
     if not hops:
         raise ValueError("empty route")
     if hops[0].in_port is not Port.LOCAL:
@@ -157,10 +99,10 @@ def validate_route(mesh: Mesh, hops: Sequence[Hop]) -> None:
     if hops[-1].out_port is not Port.LOCAL:
         raise ValueError("route must end with a LOCAL ejection")
     for i, hop in enumerate(hops):
-        if hop.out_port not in legal_outputs_for_input(mesh, hop.router, hop.in_port):
+        if hop.out_port not in topology.legal_outputs_for_input(hop.router, hop.in_port):
             raise ValueError(f"illegal turn at hop {i}: {hop}")
         if i + 1 < len(hops):
-            nxt = mesh.downstream(hop.router, hop.out_port)
+            nxt = topology.downstream(hop.router, hop.out_port)
             if nxt != hops[i + 1].router:
                 raise ValueError(f"hop {i} does not connect to hop {i + 1}")
             if hops[i + 1].in_port is not hop.out_port:

@@ -1,0 +1,99 @@
+"""Pluggable network topologies and routing strategies.
+
+This package is the single source of truth for network structure and
+deterministic routing.  The :class:`Topology` interface (nodes, links,
+``route(src, dst)``, legal-turn queries) is consumed by the analytical
+models (:mod:`repro.core`), the cycle-accurate simulator (:mod:`repro.noc`)
+and the :class:`repro.api.Scenario` builder; four implementations ship:
+
+========================  =====================================================
+:class:`Mesh2D`           the paper's 2D mesh (byte-identical to the seed)
+:class:`Torus2D`          mesh plus wrap-around links, shortest-way routing
+:class:`Ring`             one wrapped row, the minimal-radix extreme
+:class:`ConcentratedMesh` mesh with ``concentration`` terminals per router
+========================  =====================================================
+
+Routing is a strategy object (:data:`XY` or :data:`YX` dimension order);
+:func:`make_topology` builds any of the above by registry name, which is what
+``Scenario.topology(...)`` and the sweep axes use.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Type
+
+from .base import (
+    Hop,
+    ROUTING_STRATEGIES,
+    RoutingStrategy,
+    Topology,
+    XY,
+    YX,
+    as_topology,
+)
+from .concentrated import ConcentratedMesh
+from .mesh import Mesh2D
+from .ring import Ring
+from .torus import Torus2D
+
+__all__ = [
+    "Hop",
+    "RoutingStrategy",
+    "XY",
+    "YX",
+    "ROUTING_STRATEGIES",
+    "Topology",
+    "as_topology",
+    "Mesh2D",
+    "Torus2D",
+    "Ring",
+    "ConcentratedMesh",
+    "TOPOLOGY_KINDS",
+    "make_topology",
+]
+
+#: Topology classes addressable by registry name.
+TOPOLOGY_KINDS: Dict[str, Type[Topology]] = {
+    "mesh": Mesh2D,
+    "torus": Torus2D,
+    "ring": Ring,
+    "cmesh": ConcentratedMesh,
+}
+
+
+def make_topology(
+    kind: str,
+    width: int,
+    height: Optional[int] = None,
+    *,
+    routing: str = "xy",
+    concentration: Optional[int] = None,
+) -> Topology:
+    """Build a topology by registry name.
+
+    ``height`` defaults to ``width`` (square), except for ``"ring"`` where it
+    must be 1 (and defaults to 1).  ``routing`` selects the dimension order
+    (``"xy"`` or ``"yx"``); ``concentration`` is only meaningful -- and only
+    accepted -- for ``"cmesh"``.
+
+    Raises ``ValueError`` for unknown names or inconsistent parameters.
+    """
+    if kind not in TOPOLOGY_KINDS:
+        known = ", ".join(sorted(TOPOLOGY_KINDS))
+        raise ValueError(f"unknown topology kind {kind!r}; known kinds: {known}")
+    if routing not in ROUTING_STRATEGIES:
+        known = ", ".join(sorted(ROUTING_STRATEGIES))
+        raise ValueError(f"unknown routing strategy {routing!r}; known strategies: {known}")
+    if concentration is not None and kind != "cmesh":
+        raise ValueError(f"concentration only applies to 'cmesh', not {kind!r}")
+    strategy = ROUTING_STRATEGIES[routing]
+    if kind == "ring":
+        if height not in (None, 1):
+            raise ValueError(f"a ring has a single row of nodes, got height={height}")
+        return Ring(width, 1, strategy)
+    height = width if height is None else height
+    if kind == "cmesh":
+        return ConcentratedMesh(
+            width, height, strategy, concentration if concentration is not None else 4
+        )
+    return TOPOLOGY_KINDS[kind](width, height, strategy)

@@ -1,0 +1,53 @@
+"""Concentrated mesh (CMesh) topology: several terminals per router.
+
+A :class:`ConcentratedMesh` keeps the 2D mesh link structure but attaches
+``concentration`` processing elements to every router's LOCAL port, the
+classic radix/diameter trade-off: a 64-terminal system becomes a 4x4 router
+grid with concentration 4, shortening worst-case paths (and therefore WCTT
+bounds) at the price of more local contention per router.
+
+The flow/weight machinery stays coordinate-level: a flow between two router
+coordinates represents the aggregated traffic of the clusters behind them,
+and the WaW weight tables scale every source count by ``concentration`` so
+that one arbitration round serves each *terminal* -- not each router -- its
+guaranteed slot (see :meth:`repro.core.weights.WeightTable.from_closed_form`).
+Intra-cluster communication never enters the network, matching the existing
+rule that a node does not send packets to itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .mesh import Mesh2D
+
+__all__ = ["ConcentratedMesh"]
+
+
+@dataclass(frozen=True)
+class ConcentratedMesh(Mesh2D):
+    """A mesh of routers each serving ``concentration`` terminals."""
+
+    concentration: int = 4
+
+    kind = "cmesh"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if isinstance(self.concentration, bool) or not isinstance(self.concentration, int):
+            raise ValueError(f"concentration must be an integer, got {self.concentration!r}")
+        if self.concentration < 1:
+            raise ValueError(f"concentration must be >= 1, got {self.concentration}")
+
+    @property
+    def terminals_per_node(self) -> int:
+        return self.concentration
+
+    def describe_short(self) -> str:
+        return (
+            f"{self.width}x{self.height} concentrated mesh "
+            f"(c={self.concentration}, {self.num_terminals} terminals)"
+        )
+
+    def short_label(self) -> str:
+        return f"{self.width}x{self.height}c{self.concentration}"

@@ -1,0 +1,39 @@
+"""Ring topology: a single wrapped row of routers.
+
+A :class:`Ring` of ``n`` nodes is the one-dimensional torus: nodes sit at
+``(0, 0) .. (n-1, 0)``, each router has only its ``X+``/``X-``/``LOCAL``
+ports and the row wraps around.  Routing takes the shorter way around the
+ring, breaking exact ties (possible only for even ``n``) towards the
+positive direction, so every route is deterministic and minimal.
+
+Rings are the extreme structural design point for the paper's analyses: the
+router radix is minimal (cheap arbiters, tiny legal-turn sets) but path
+lengths grow linearly with the node count instead of with the square root.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .torus import Torus2D
+
+__all__ = ["Ring"]
+
+
+@dataclass(frozen=True)
+class Ring(Torus2D):
+    """A bidirectional ring of ``width`` nodes (``Ring(8)`` has 8 nodes)."""
+
+    height: int = 1
+
+    kind = "ring"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.height != 1:
+            raise ValueError(f"a ring has a single row of nodes, got height={self.height}")
+        if self.width < 2:
+            raise ValueError("a ring needs at least 2 nodes")
+
+    def describe_short(self) -> str:
+        return f"{self.width}-node ring"

@@ -1,0 +1,82 @@
+"""2D torus topology: a mesh whose rows and columns wrap around.
+
+Every router of a :class:`Torus2D` has all four directional ports (when the
+corresponding dimension has at least two nodes): the ``X+`` output of the
+last column wraps to column 0, and so on.  Routing stays dimension-ordered
+and deterministic; within each axis the packet takes the *shorter* way
+around, breaking exact ties towards the positive direction, so routes are
+minimal and statically known -- exactly what the time-composable WCTT
+analyses require.
+
+Caveat for the cycle-accurate simulator: dimension-ordered routing on a
+torus is *not* deadlock-free in general (the wrap links close cyclic channel
+dependencies; real tori break them with virtual channels, which the router
+model does not implement).  Bounded request/reply traffic with small packets
+-- the evaluated manycore's memory traffic -- drains fine in practice, and
+``Network.run_until_idle`` raises if a deadlock does occur.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..geometry import Coord, Port, _INPUT_DISPLACEMENT, _OUTPUT_DISPLACEMENT
+from .base import Topology
+
+__all__ = ["Torus2D"]
+
+
+@dataclass(frozen=True)
+class Torus2D(Topology):
+    """A ``width x height`` torus: the mesh grid plus wrap-around links."""
+
+    kind = "torus"
+
+    def _axis_size(self, axis: str) -> int:
+        return self.width if axis == "x" else self.height
+
+    # ------------------------------------------------------------------
+    # Physical connectivity: every directional port exists, links wrap.
+    # ------------------------------------------------------------------
+    def downstream(self, coord: Coord, out_port: Port) -> Optional[Coord]:
+        self.require(coord)
+        if out_port is Port.LOCAL:
+            return None
+        dx, dy = _OUTPUT_DISPLACEMENT[out_port]
+        if (dx and self.width == 1) or (dy and self.height == 1):
+            return None
+        return Coord((coord.x + dx) % self.width, (coord.y + dy) % self.height)
+
+    def upstream(self, coord: Coord, in_port: Port) -> Optional[Coord]:
+        self.require(coord)
+        if in_port is Port.LOCAL:
+            return None
+        dx, dy = _INPUT_DISPLACEMENT[in_port]
+        if (dx and self.width == 1) or (dy and self.height == 1):
+            return None
+        return Coord((coord.x + dx) % self.width, (coord.y + dy) % self.height)
+
+    # ------------------------------------------------------------------
+    # Routing: shortest way around each axis, ties towards positive.
+    # ------------------------------------------------------------------
+    def axis_step(self, current: Coord, destination: Coord, axis: str) -> int:
+        size = self._axis_size(axis)
+        cur, dst = (current.x, destination.x) if axis == "x" else (current.y, destination.y)
+        forward = (dst - cur) % size
+        if forward == 0:
+            return 0
+        return 1 if forward <= size - forward else -1
+
+    def axis_distance(self, source: Coord, destination: Coord, axis: str) -> int:
+        size = self._axis_size(axis)
+        src, dst = (source.x, destination.x) if axis == "x" else (source.y, destination.y)
+        forward = (dst - src) % size
+        return min(forward, size - forward)
+
+    @property
+    def has_wraparound(self) -> bool:
+        return self.width > 1 or self.height > 1
+
+    def describe_short(self) -> str:
+        return f"{self.width}x{self.height} torus"

@@ -1,0 +1,61 @@
+"""The documentation pages exist, are linked and their snippets run.
+
+CI runs ``tools/check_doc_snippets.py`` as its own job; this module keeps
+the same guarantee inside the tier-1 suite so a broken doc snippet fails
+``pytest`` locally too.
+"""
+
+import importlib.util
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DOCS = REPO_ROOT / "docs"
+
+
+def _load_checker():
+    spec = importlib.util.spec_from_file_location(
+        "check_doc_snippets", REPO_ROOT / "tools" / "check_doc_snippets.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestDocsPresence:
+    def test_pages_exist(self):
+        assert (DOCS / "ARCHITECTURE.md").is_file()
+        assert (DOCS / "api.md").is_file()
+
+    def test_readme_links_both_pages(self):
+        readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
+        assert "docs/ARCHITECTURE.md" in readme
+        assert "docs/api.md" in readme
+
+    def test_ci_runs_the_snippet_checker(self):
+        workflow = (REPO_ROOT / ".github" / "workflows" / "ci.yml").read_text(
+            encoding="utf-8"
+        )
+        assert "tools/check_doc_snippets.py" in workflow
+
+
+class TestSnippetExtraction:
+    def test_every_page_has_runnable_snippets(self):
+        checker = _load_checker()
+        for page in sorted(DOCS.glob("*.md")):
+            blocks = checker.extract_blocks(page.read_text(encoding="utf-8"))
+            assert blocks, f"{page.name} has no python snippets"
+
+    def test_no_run_marker_is_honoured(self):
+        checker = _load_checker()
+        text = "<!-- no-run -->\n```python\nraise RuntimeError\n```\n"
+        ((_, source, skipped),) = checker.extract_blocks(text)
+        assert skipped and "RuntimeError" in source
+
+
+class TestSnippetsRun:
+    def test_all_doc_snippets_run_cleanly(self):
+        checker = _load_checker()
+        failures = []
+        for page in sorted(DOCS.glob("*.md")):
+            failures.extend(checker.check_file(page))
+        assert not failures, "\n".join(failures)
