@@ -13,6 +13,9 @@ The package is organised in seven layers:
   bound delays and the router area model;
 * :mod:`repro.noc` -- a cycle-accurate flit-level wormhole mesh simulator
   (the reproduction's substitute for SoCLib + gNoCSim);
+* :mod:`repro.sim` -- pluggable simulation backends: the cycle-accurate
+  reference and a bit-identical event-driven fast backend that skips idle
+  cycles;
 * :mod:`repro.manycore` / :mod:`repro.workloads` -- the evaluated platform
   (cores, caches, memory controller, placements) and its workloads
   (EEMBC-like profiles, the 3D path-planning avionics application, synthetic
@@ -83,10 +86,18 @@ from .core import (
     wctt_map,
     wctt_summary,
 )
+from .sim import (
+    CycleAccurateBackend,
+    EventDrivenBackend,
+    SimulationBackend,
+    SimulationStallError,
+    available_backends,
+    make_backend,
+)
 from .noc import Network
 from .manycore import ManycoreSystem, Placement, standard_placements
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Coord",
@@ -120,6 +131,12 @@ __all__ = [
     "waw_wap_config",
     "wctt_map",
     "wctt_summary",
+    "SimulationBackend",
+    "SimulationStallError",
+    "CycleAccurateBackend",
+    "EventDrivenBackend",
+    "available_backends",
+    "make_backend",
     "Network",
     "ManycoreSystem",
     "Placement",

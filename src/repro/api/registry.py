@@ -24,6 +24,7 @@ from __future__ import annotations
 import difflib
 import functools
 import importlib
+import inspect
 import sys
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Mapping, Optional
@@ -95,6 +96,23 @@ class ExperimentSpec:
     def report_text(self, *, quick: bool = False, **params: Any) -> str:
         """Run and render in one step (the legacy ``run_experiment`` shape)."""
         return self.report(self.run(quick=quick, **params))
+
+    def supports_param(self, name: str) -> bool:
+        """True when the experiment's ``run()`` accepts keyword ``name``.
+
+        Used by the CLI to forward cross-cutting options (e.g. ``--backend``)
+        only to the experiments that understand them.
+        """
+        try:
+            signature = inspect.signature(self.runner)
+        except (TypeError, ValueError):  # pragma: no cover - defensive
+            return False
+        parameters = signature.parameters
+        if name in parameters:
+            return True
+        return any(
+            p.kind is inspect.Parameter.VAR_KEYWORD for p in parameters.values()
+        )
 
     def params_for_axes(self, **axes: Any) -> Dict[str, Any]:
         """Translate sweep-axis values into run() keyword arguments."""

@@ -42,6 +42,7 @@ from ..core.config import (
     RouterTiming,
 )
 from ..geometry import Coord, Mesh
+from ..sim import normalize_backend_name
 from ..topology import make_topology
 
 __all__ = ["Scenario", "ScenarioError", "sweep"]
@@ -151,6 +152,27 @@ class Scenario:
         return Scenario(merged)
 
     # ------------------------------------------------------------------
+    # Simulation backend selection
+    # ------------------------------------------------------------------
+    def backend(self, name: str) -> "Scenario":
+        """Select the simulation backend driving this design point's runs.
+
+        ``"cycle"`` is the cycle-accurate reference (every component steps on
+        every clock cycle); ``"event"`` is the event-driven fast backend that
+        skips provably idle cycles and reproduces the cycle-accurate results
+        exactly (``tests/test_differential.py`` enforces this).  The choice
+        only affects simulation wall-clock time, never any analytical model
+        or any simulated number.
+        """
+        try:
+            canonical = normalize_backend_name(name)
+        except ValueError as exc:
+            raise ScenarioError(str(exc)) from None
+        except TypeError:
+            raise ScenarioError(f"backend must be a name string, got {name!r}") from None
+        return self._with(backend=canonical)
+
+    # ------------------------------------------------------------------
     # Knobs
     # ------------------------------------------------------------------
     def max_packet_flits(self, flits: int) -> "Scenario":
@@ -219,6 +241,8 @@ class Scenario:
             parts.append(f"m{s['min_packet_flits']}")
         if "buffer_depth" in s:
             parts.append(f"b{s['buffer_depth']}")
+        if s.get("backend", "cycle") != "cycle":
+            parts.append(s["backend"])
         return "-".join(parts)
 
     def build(self) -> NoCConfig:
@@ -247,6 +271,8 @@ class Scenario:
             "arbitration": arbitration,
             "packetization": packetization,
         }
+        if "backend" in s:
+            kwargs["sim_backend"] = s["backend"]
         for key in (
             "max_packet_flits",
             "min_packet_flits",
@@ -311,6 +337,7 @@ _SWEEP_AXES = {
     "mesh": lambda sc, v: _apply_mesh(sc, v),
     "design": lambda sc, v: sc.design(v),
     "topology": lambda sc, v: _apply_topology(sc, v),
+    "backend": lambda sc, v: sc.backend(v),
     "max_packet_flits": lambda sc, v: sc.max_packet_flits(v),
     "min_packet_flits": lambda sc, v: sc.min_packet_flits(v),
     "buffer_depth": lambda sc, v: sc.buffer_depth(v),
@@ -337,7 +364,8 @@ def sweep(base: Optional[Scenario] = None, **grid: Any) -> List[Scenario]:
     ``base`` provides the fixed part of every design point; each keyword is
     one axis of the grid and may be a single value or an iterable of values.
     Axes: ``mesh``, ``design``, ``topology`` (kind names or mappings like
-    ``{"kind": "cmesh", "concentration": 2}``), ``max_packet_flits``,
+    ``{"kind": "cmesh", "concentration": 2}``), ``backend`` (simulation
+    backend name, ``cycle`` or ``event``), ``max_packet_flits``,
     ``min_packet_flits``, ``buffer_depth`` and ``memory_controller`` (an
     ``(x, y)`` pair).
 

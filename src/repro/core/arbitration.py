@@ -52,6 +52,20 @@ class Arbiter:
         # Plain round-robin keeps no idle-cycle state; WaW refills credits.
         return None
 
+    def idle_cycles(self, cycles: int) -> None:
+        """Apply ``cycles`` consecutive requester-less cycles in one call.
+
+        Must leave the arbiter in exactly the state that ``cycles`` calls to
+        :meth:`idle_cycle` would; the event-driven simulation backend relies
+        on this when it skips over stretches of cycles in which no port can
+        move a flit.  Subclasses whose ``idle_cycle`` keeps state must
+        override this with a closed-form equivalent.
+        """
+        if cycles < 0:
+            raise ValueError("cycles must be >= 0")
+        # The base arbiter (round-robin) keeps no idle-cycle state.
+        return None
+
     def _check(self, requesters: Iterable[Port]) -> List[Port]:
         reqs = list(requesters)
         unknown = [r for r in reqs if r not in self.candidates]
@@ -156,6 +170,20 @@ class WeightedRoundRobinArbiter(Arbiter):
         for port in self.candidates:
             if self.credits[port] < self.weights[port]:
                 self.credits[port] += 1
+
+    def idle_cycles(self, cycles: int) -> None:
+        """Closed form of ``cycles`` consecutive :meth:`idle_cycle` calls.
+
+        Each idle cycle increments every counter by one, saturating at the
+        port weight, so ``cycles`` of them add ``cycles`` with the same cap.
+        """
+        if cycles < 0:
+            raise ValueError("cycles must be >= 0")
+        if cycles == 0:
+            return
+        for port in self.candidates:
+            if self.credits[port] < self.weights[port]:
+                self.credits[port] = min(self.weights[port], self.credits[port] + cycles)
 
     # ------------------------------------------------------------------
     def _refill_all(self) -> None:

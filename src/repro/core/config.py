@@ -171,6 +171,13 @@ class NoCConfig:
     messages: MessageConfig = field(default_factory=MessageConfig)
     #: Location of the memory controller of the evaluated manycore.
     memory_controller: Coord = field(default_factory=lambda: Coord(0, 0))
+    #: Simulation backend driving this design point's simulations:
+    #: ``"cycle"`` (reference, step every component every cycle) or
+    #: ``"event"`` (skip provably idle cycles; bit-identical results).  The
+    #: name is resolved against :func:`repro.sim.make_backend` when a
+    #: :class:`~repro.noc.network.Network` is built; it does not affect any
+    #: analytical model.
+    sim_backend: str = "cycle"
 
     def __post_init__(self) -> None:
         if self.max_packet_flits < 1:
@@ -181,6 +188,8 @@ class NoCConfig:
             raise ValueError("min_packet_flits cannot exceed max_packet_flits")
         if self.buffer_depth < 1:
             raise ValueError("buffer_depth must be >= 1")
+        if not isinstance(self.sim_backend, str) or not self.sim_backend:
+            raise ValueError("sim_backend must be a non-empty backend name")
         self.mesh.require(self.memory_controller)
 
     # ------------------------------------------------------------------
@@ -228,6 +237,10 @@ class NoCConfig:
     def with_max_packet_flits(self, flits: int) -> "NoCConfig":
         """Same design point with a different maximum packet length."""
         return replace(self, max_packet_flits=flits)
+
+    def with_backend(self, backend: str) -> "NoCConfig":
+        """Same design point simulated by a different backend."""
+        return replace(self, sim_backend=backend)
 
     def describe(self) -> str:
         """One-line human readable description (used by reports)."""

@@ -94,7 +94,10 @@ def _run_parallel(config: NoCConfig, *, workload: ParallelWorkload) -> int:
     description="Average performance impact of WaW+WaP (cycle-accurate)",
     paper_reference="Section IV (average performance)",
     quick_params={"mesh_size": 3, "profile_scale": 0.001, "parallel_threads": 4},
-    sweep_axes={"size": lambda v: {"mesh_size": v}},
+    sweep_axes={
+        "size": lambda v: {"mesh_size": v},
+        "backend": lambda v: {"backend": v},
+    },
 )
 def run(
     *,
@@ -104,15 +107,18 @@ def run(
     parallel_phases: int = 4,
     parallel_loads_per_phase: int = 40,
     parallel_compute_per_phase: int = 2_000,
+    backend: str = "cycle",
 ) -> List[AveragePerformancePoint]:
     """Run both scenarios on both design points and collect the makespans.
 
     The default mesh size and workload scale keep the pure-Python simulation
     below a few seconds; larger values reproduce the same relative figures at
-    higher confidence.
+    higher confidence.  ``backend`` selects the simulation backend (``cycle``
+    or ``event``); both produce identical makespans, ``event`` just gets
+    there faster.
     """
-    regular_cfg = Scenario.mesh(mesh_size).regular().build()
-    waw_cfg = Scenario.mesh(mesh_size).waw_wap().build()
+    regular_cfg = Scenario.mesh(mesh_size).regular().backend(backend).build()
+    waw_cfg = Scenario.mesh(mesh_size).waw_wap().backend(backend).build()
 
     points: List[AveragePerformancePoint] = []
 

@@ -4,10 +4,15 @@ The CLI is a thin layer over :mod:`repro.api`: experiments are discovered
 through the decorator registry and executed through the cache-aware batch
 engine.  Subcommands::
 
-    repro-experiments run [NAMES...] [--quick] [--jobs N] [--json -] [--csv F]
+    repro-experiments run [NAMES...] [--quick] [--backend event] [--jobs N]
+                          [--json -] [--csv F]
     repro-experiments list [--json]
     repro-experiments sweep --sizes 2,3,4 [--experiment table2] [--jobs N]
     repro-experiments export --cache-dir DIR [--json F] [--csv F] [NAMES...]
+
+``--backend`` selects the simulation backend (``cycle`` or ``event``) for
+the experiments that drive the cycle-accurate simulator; both backends
+produce identical results, ``event`` skips idle cycles and is much faster.
 
 The pre-subcommand invocation style keeps working: ``repro-experiments
 table2 fig2a``, ``repro-experiments --list`` and ``repro-experiments
@@ -29,6 +34,7 @@ from ..api import (
     get_experiment,
     list_experiments,
 )
+from ..sim import available_backends, normalize_backend_name
 
 __all__ = ["EXPERIMENTS", "main", "run_experiment"]
 
@@ -87,6 +93,39 @@ def _csv_ints(text: str) -> List[int]:
         raise argparse.ArgumentTypeError(f"expected comma-separated integers, got {text!r}")
 
 
+def _backend_name(text: str) -> str:
+    """argparse type: resolve backend names and aliases, reject unknowns."""
+    try:
+        return normalize_backend_name(text)
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(str(error))
+
+
+def _add_backend_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--backend", default=None, type=_backend_name, metavar="NAME",
+        help=(
+            "simulation backend for the simulating experiments "
+            f"({', '.join(available_backends())}); results are identical, "
+            "'event' skips idle cycles and is much faster"
+        ),
+    )
+
+
+def _backend_params(name: str, backend: Optional[str]) -> Dict[str, Any]:
+    """The run() params carrying ``--backend`` to experiments that accept it."""
+    if backend is None:
+        return {}
+    spec = get_experiment(name)
+    if not spec.supports_param("backend"):
+        print(
+            f"note: {name} does not simulate; --backend {backend} is ignored for it",
+            file=sys.stderr,
+        )
+        return {}
+    return {"backend": backend}
+
+
 def _add_engine_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--jobs", type=int, default=1, metavar="N",
@@ -131,6 +170,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--quick", action="store_true",
         help="use smaller meshes / shorter simulations",
     )
+    _add_backend_option(run_parser)
     _add_engine_options(run_parser)
     _add_export_options(run_parser)
 
@@ -158,6 +198,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--quick", action="store_true",
         help="apply the experiment's quick parameters to every design point",
     )
+    _add_backend_option(sweep_parser)
     _add_engine_options(sweep_parser)
     _add_export_options(sweep_parser)
 
@@ -249,7 +290,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if engine is None:
         return 2
     results = engine.run_many(
-        [BatchJob(experiment=name, quick=args.quick) for name in names]
+        [
+            BatchJob(
+                experiment=name,
+                params=_backend_params(name, args.backend),
+                quick=args.quick,
+            )
+            for name in names
+        ]
     )
     if not _exports_use_stdout(args):
         for result in results:
@@ -301,7 +349,12 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if engine is None:
         return 2
     try:
-        results = engine.sweep(args.experiment, quick=args.quick, **axes)
+        results = engine.sweep(
+            args.experiment,
+            quick=args.quick,
+            base_params=_backend_params(args.experiment, args.backend),
+            **axes,
+        )
     except ValueError as error:
         print(str(error), file=sys.stderr)
         return 2

@@ -182,6 +182,51 @@ class Core:
         if self.done and self.finish_cycle is None:
             self.finish_cycle = cycle
 
+    # ------------------------------------------------------------------
+    # Activity introspection / bulk idle (event-driven backend support)
+    # ------------------------------------------------------------------
+    def next_activity_cycle(self, now: int) -> Optional[int]:
+        """Earliest cycle at which :meth:`step` does more than bookkeeping.
+
+        ``None`` means the core cannot act on its own (it is stalled on a
+        reply, or finished) -- something else in the system must wake it.
+        ``now`` forces a real step whenever the core still has timestamps to
+        record or an operation to fetch/issue.
+        """
+        if self.done:
+            # A finished core only needs one more step to stamp finish_cycle.
+            return now if self.finish_cycle is None else None
+        if self.start_cycle is None:
+            return now
+        if self._waiting_reply:
+            return None
+        if self._current_op is None:
+            return now
+        if self._compute_remaining > 0:
+            return now + self._compute_remaining
+        return now
+
+    def skip_cycles(self, cycles: int) -> None:
+        """Replay ``cycles`` steps in which this core only counts time.
+
+        Exactly mirrors what ``cycles`` calls to :meth:`step` would do while
+        the core is stalled (stall accounting) or mid-compute-gap (gap
+        countdown); the event-driven backend guarantees the core cannot
+        reach an issue/fetch point inside the skipped stretch.
+        """
+        if cycles <= 0 or self.done:
+            return
+        if self._waiting_reply:
+            self.stall_cycles += cycles
+            return
+        if self._current_op is None or self._compute_remaining < cycles:
+            raise RuntimeError(
+                f"{self.name}: skipped {cycles} cycles across an activity point "
+                "(event-driven backend bug)"
+            )
+        self._compute_remaining -= cycles
+        self.compute_cycles += cycles
+
     @property
     def elapsed_cycles(self) -> Optional[int]:
         if self.start_cycle is None or self.finish_cycle is None:

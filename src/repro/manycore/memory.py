@@ -100,6 +100,14 @@ class MemoryController:
     def pending_replies(self) -> int:
         return len(self._pending)
 
+    def next_ready_cycle(self) -> Optional[int]:
+        """Cycle at which the earliest pending reply becomes injectable.
+
+        ``None`` when no reply is pending; used by the event-driven backend
+        to bound how far the clock may jump.
+        """
+        return self._pending[0][0] if self._pending else None
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"MemoryController(node={self.node}, served={self.served_loads} loads, "

@@ -11,13 +11,14 @@ simulated platform.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Optional
+from typing import Dict, Iterable, Iterator, List, Optional, Union
 
 from ..core.config import NoCConfig
 from ..core.ubd import MemoryTiming
 from ..core.weights import WeightTable
 from ..geometry import Coord
 from ..noc.network import Network
+from ..sim import SimulationBackend, make_backend
 from ..workloads.parallel import ParallelWorkload
 from ..workloads.trace import AccessTrace, MemoryOperation, TaskProfile
 from .cache import Cache, CacheConfig
@@ -37,9 +38,11 @@ class ManycoreSystem:
         *,
         weight_table: Optional[WeightTable] = None,
         memory_timing: Optional[MemoryTiming] = None,
+        backend: Union[str, SimulationBackend, None] = None,
     ):
         self.config = config
-        self.network = Network(config, weight_table)
+        self.backend = make_backend(backend if backend is not None else config.sim_backend)
+        self.network = Network(config, weight_table, backend=self.backend)
         self.memory_timing = memory_timing if memory_timing is not None else MemoryTiming()
         self.memory_controller = MemoryController(
             self.network, config.memory_controller, timing=self.memory_timing
@@ -146,6 +149,18 @@ class ManycoreSystem:
         self.memory_controller.step(now)
         self.network.step()
 
+    def step_active(self) -> None:
+        """Like :meth:`step`, but the network touches only busy routers.
+
+        Outcome-identical (see :meth:`Network.step_active`); used by the
+        event-driven backend.
+        """
+        now = self.network.cycle
+        for core in self.cores.values():
+            core.step(now)
+        self.memory_controller.step(now)
+        self.network.step_active()
+
     def run(self, cycles: int) -> None:
         for _ in range(cycles):
             self.step()
@@ -153,14 +168,62 @@ class ManycoreSystem:
     def all_cores_done(self) -> bool:
         return all(core.done for core in self.cores.values())
 
+    def is_complete(self) -> bool:
+        """True when every core finished, the NoC drained and no reply is due."""
+        return (
+            self.all_cores_done()
+            and self.network.is_idle()
+            and not self.memory_controller.has_work()
+        )
+
     def run_to_completion(self, *, max_cycles: int = 5_000_000) -> int:
-        """Run until every core finished its workload and the NoC drained."""
-        start = self.cycle
-        while not (self.all_cores_done() and self.network.is_idle() and not self.memory_controller.has_work()):
-            if self.cycle - start > max_cycles:
-                raise RuntimeError(f"workload did not complete within {max_cycles} cycles")
-            self.step()
-        return self.cycle - start
+        """Run until every core finished its workload and the NoC drained.
+
+        Time advancement is delegated to the configured
+        :class:`~repro.sim.SimulationBackend`; raises
+        :class:`~repro.sim.SimulationStallError` -- naming the unfinished
+        cores and the in-flight traffic -- after ``max_cycles``.
+        """
+        return self.backend.run_to_completion(self, max_cycles=max_cycles)
+
+    # ------------------------------------------------------------------
+    # Activity introspection / bulk idle (event-driven backend support)
+    # ------------------------------------------------------------------
+    def next_activity_cycle(self) -> Optional[int]:
+        """Earliest cycle at which any core, the MC or the NoC can act."""
+        now = self.network.cycle
+        best: Optional[int] = None
+        for core in self.cores.values():
+            ready = core.next_activity_cycle(now)
+            if ready is None:
+                continue
+            if ready <= now:
+                return now
+            if best is None or ready < best:
+                best = ready
+        ready = self.memory_controller.next_ready_cycle()
+        if ready is not None:
+            if ready <= now:
+                return now
+            if best is None or ready < best:
+                best = ready
+        ready = self.network.next_activity_cycle()
+        if ready is not None:
+            if ready <= now:
+                return now
+            if best is None or ready < best:
+                best = ready
+        return best
+
+    def skip_cycles(self, cycles: int) -> None:
+        """Advance the whole system over ``cycles`` provably dead cycles."""
+        if cycles <= 0:
+            return
+        for core in self.cores.values():
+            core.skip_cycles(cycles)
+        # The memory controller keeps no per-cycle state; the network applies
+        # its arbiters' idle accounting and moves the clock.
+        self.network.skip_idle_cycles(cycles)
 
     # ------------------------------------------------------------------
     # Results

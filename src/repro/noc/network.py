@@ -23,11 +23,12 @@ The network exposes a deliberately small API to the layers above it
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Optional
+from typing import Callable, Dict, Iterable, List, Optional, Union
 
 from ..core.config import NoCConfig
 from ..core.weights import WeightTable
 from ..geometry import Coord, Port
+from ..sim import SimulationBackend, make_backend
 from .flit import Message
 from .nic import NIC
 from .router import Router
@@ -39,8 +40,17 @@ __all__ = ["Network"]
 class Network:
     """A complete wormhole NoC instance on the configured topology."""
 
-    def __init__(self, config: NoCConfig, weight_table: Optional[WeightTable] = None):
+    def __init__(
+        self,
+        config: NoCConfig,
+        weight_table: Optional[WeightTable] = None,
+        *,
+        backend: Union[str, SimulationBackend, None] = None,
+    ):
         self.config = config
+        # The time-advancement strategy: an explicit argument wins, otherwise
+        # the config's sim_backend (default: the cycle-accurate reference).
+        self.backend = make_backend(backend if backend is not None else config.sim_backend)
         self.mesh = config.mesh
         self.topology = config.topology
         if config.is_waw and weight_table is None:
@@ -62,6 +72,21 @@ class Network:
             nic.add_listener(self.stats.record_message)
 
         self._pending_sends: List[Message] = []
+        #: Routers currently holding buffered flits (an insertion-ordered
+        #: set; a dict for determinism).  Maintained by the step/apply path
+        #: as a superset invariant -- every router with work is in here --
+        #: and pruned at the end of each cycle, where routers that went
+        #: quiet get their one-time arbiter idle refill applied eagerly
+        #: (state-equivalent to the refill their next per-cycle step would
+        #: perform).  The event-driven backend walks only this set.
+        self._busy_routers: Dict[Router, None] = {}
+        #: NICs whose injection queue is non-empty, same superset invariant
+        #: (inserted by the NICs' work listener on enqueue, pruned at the
+        #: end of each cycle).  NICs keep no idle-cycle state, so leaving
+        #: the set needs no settling.
+        self._busy_nics: Dict[NIC, None] = {}
+        for nic in self.nics.values():
+            nic.set_work_listener(self._note_busy_nic)
 
     # ------------------------------------------------------------------
     # Public API
@@ -112,6 +137,42 @@ class Network:
             router.step(now, events)
 
         self._apply_events(events, now)
+        self._finish_cycle()
+
+    def step_active(self) -> None:
+        """One clock cycle touching only components that can hold work.
+
+        Identical outcome to :meth:`step`: a NIC outside the busy set has an
+        empty injection queue and a router outside the busy set has nothing
+        buffered, so their per-cycle steps would be no-ops (a leaving
+        router's one-time idle refill was applied when it left).  Used by
+        the event-driven backend so the per-cycle cost scales with the
+        traffic, not with the network size.
+        """
+        events: List[tuple] = []
+        now = self.cycle
+
+        for nic in self._busy_nics:
+            nic.step(now, events)
+        for router in list(self._busy_routers):
+            router.step(now, events)
+
+        self._apply_events(events, now)
+        self._finish_cycle()
+
+    def _note_busy_nic(self, nic: NIC) -> None:
+        """NIC work listener: its injection queue just went non-empty."""
+        self._busy_nics[nic] = None
+
+    def _finish_cycle(self) -> None:
+        """Prune the busy sets (settling leaving routers) and advance time."""
+        emptied = [router for router in self._busy_routers if not router.has_work()]
+        for router in emptied:
+            router._settle_idle()
+            del self._busy_routers[router]
+        drained = [nic for nic in self._busy_nics if not nic.has_work()]
+        for nic in drained:
+            del self._busy_nics[nic]
         self.cycle += 1
 
     def run(self, cycles: int) -> None:
@@ -130,20 +191,61 @@ class Network:
     def run_until_idle(self, *, max_cycles: int = 1_000_000) -> int:
         """Run until the network drains completely; returns the final cycle.
 
-        Raises ``RuntimeError`` if the network has not drained after
-        ``max_cycles``.  Dimension-ordered routing on a mesh (and on a
-        concentrated mesh) is deadlock-free, so failing to drain there would
-        be a simulator bug; on wrapped topologies (torus, ring) the wrap
-        links close cyclic channel dependencies and heavily loaded traffic
-        *can* genuinely deadlock -- bound the offered load (e.g. bounded
-        outstanding request/reply traffic) when simulating those.
+        Time advancement is delegated to the configured
+        :class:`~repro.sim.SimulationBackend` (cycle-accurate stepping or
+        event-driven idle-cycle skipping; both produce identical results).
+        Raises :class:`~repro.sim.SimulationStallError` -- with the buffered
+        flit count and the busiest nodes' occupancy -- if the network has not
+        drained after ``max_cycles``.  Dimension-ordered routing on a mesh
+        (and on a concentrated mesh) is deadlock-free, so failing to drain
+        there would be a simulator bug; on wrapped topologies (torus, ring)
+        the wrap links close cyclic channel dependencies and heavily loaded
+        traffic *can* genuinely deadlock -- bound the offered load (e.g.
+        bounded outstanding request/reply traffic) when simulating those.
         """
-        start = self.cycle
-        while not self.is_idle():
-            if self.cycle - start > max_cycles:
-                raise RuntimeError(f"network did not drain within {max_cycles} cycles")
-            self.step()
-        return self.cycle
+        return self.backend.run_until_idle(self, max_cycles=max_cycles)
+
+    # ------------------------------------------------------------------
+    # Activity introspection / bulk idle (event-driven backend support)
+    # ------------------------------------------------------------------
+    def next_activity_cycle(self) -> Optional[int]:
+        """Earliest cycle at which any component can act; ``None`` when idle.
+
+        Conservative lower bound: returns the current cycle whenever a NIC
+        holds both queued flits and injection credits, or any head-of-line
+        flit is already ready (even if it would turn out to be blocked on
+        downstream credits), so skipping up to -- but not into -- the
+        returned cycle is always safe.
+        """
+        now = self.cycle
+        best: Optional[int] = None
+        for nic in self._busy_nics:
+            if nic.ready_to_inject():
+                return now
+        for router in self._busy_routers:
+            ready = router.next_ready_cycle()
+            if ready is None:
+                continue
+            if ready <= now:
+                return now
+            if best is None or ready < best:
+                best = ready
+        return best
+
+    def skip_idle_cycles(self, cycles: int) -> None:
+        """Advance the clock by ``cycles`` cycles in which nothing can act.
+
+        Only valid when :meth:`next_activity_cycle` is at least ``cycles``
+        ahead; replays the skipped steps' sole state effect (arbiters of
+        requester-less output ports observing idle cycles) in closed form.
+        """
+        if cycles <= 0:
+            return
+        # Routers outside the busy set hold no flits and were settled when
+        # they left it; only busy routers accumulate idle-arbiter state.
+        for router in self._busy_routers:
+            router.skip_cycles(cycles)
+        self.cycle += cycles
 
     # ------------------------------------------------------------------
     # Event application
@@ -162,7 +264,9 @@ class Network:
                 delay = timing.link_latency + (
                     timing.routing_latency if flit.is_head else timing.flit_cycle
                 )
-                self.routers[downstream].accept_flit(out_port, flit, now + delay)
+                receiver = self.routers[downstream]
+                receiver.accept_flit(out_port, flit, now + delay)
+                self._busy_routers[receiver] = None
             elif tag == "eject":
                 _, router, flit = event
                 self.nics[router.coord].receive_flit(flit, now + 1)
@@ -179,7 +283,9 @@ class Network:
             elif tag == "inject":
                 _, nic, flit = event
                 delay = timing.routing_latency if flit.is_head else timing.flit_cycle
-                self.routers[nic.coord].accept_flit(Port.LOCAL, flit, now + delay)
+                receiver = self.routers[nic.coord]
+                receiver.accept_flit(Port.LOCAL, flit, now + delay)
+                self._busy_routers[receiver] = None
             else:  # pragma: no cover - defensive
                 raise RuntimeError(f"unknown event {tag!r}")
 

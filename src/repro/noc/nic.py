@@ -40,6 +40,9 @@ class NIC:
 
         #: Flits serialised and waiting to enter the router's LOCAL buffer.
         self._injection_queue: Deque[Flit] = deque()
+        #: Called with this NIC when its injection queue goes non-empty
+        #: (set by the owning network to track busy NICs incrementally).
+        self._work_listener: Optional[Callable[["NIC"], None]] = None
         #: Credits towards the router's LOCAL input buffer.
         self.injection_credits = config.buffer_depth
         #: Packets of partially received messages: message_id -> tail flits seen.
@@ -58,12 +61,17 @@ class NIC:
     # ------------------------------------------------------------------
     # Send side
     # ------------------------------------------------------------------
+    def set_work_listener(self, listener: Optional[Callable[["NIC"], None]]) -> None:
+        """Register the queue-went-non-empty callback (one per NIC)."""
+        self._work_listener = listener
+
     def send_message(self, message: Message, now: int) -> None:
         """Accept a message from the node, packetize it and queue its flits."""
         if message.source != self.coord:
             raise ValueError(
                 f"NIC at {self.coord} asked to send a message whose source is {message.source}"
             )
+        was_idle = not self._injection_queue
         message.created_cycle = now
         descriptor = MessageDescriptor(payload_flits=message.payload_flits, kind=message.kind)
         packets = self.packetizer.packetize(descriptor)
@@ -77,12 +85,22 @@ class NIC:
             for flit in packet.make_flits():
                 self._injection_queue.append(flit)
         self.sent_messages.append(message)
+        if was_idle and self._injection_queue and self._work_listener is not None:
+            self._work_listener(self)
 
     def pending_injection_flits(self) -> int:
         return len(self._injection_queue)
 
     def has_work(self) -> bool:
         return bool(self._injection_queue)
+
+    def ready_to_inject(self) -> bool:
+        """True when :meth:`step` would inject a flit this cycle.
+
+        A NIC with queued flits but no credits is inert until a credit event
+        returns -- the event-driven backend uses this to tell the two apart.
+        """
+        return bool(self._injection_queue) and self.injection_credits > 0
 
     def step(self, now: int, events: List[Tuple]) -> None:
         """Inject at most one flit into the router's LOCAL buffer this cycle."""

@@ -114,19 +114,65 @@ class Router:
         return any(len(buf) for buf in self.buffers.values())
 
     # ------------------------------------------------------------------
+    # Activity introspection / bulk idle (event-driven backend support)
+    # ------------------------------------------------------------------
+    def next_ready_cycle(self) -> Optional[int]:
+        """Earliest ``ready_cycle`` among the head-of-line flits; ``None`` if empty.
+
+        This is a conservative lower bound on the next cycle at which this
+        router can move a flit: every action of :meth:`step` (allocation or
+        forwarding) starts from a head-of-line flit whose ``ready_cycle`` has
+        been reached.
+        """
+        best: Optional[int] = None
+        for buffer in self.buffers.values():
+            flit = buffer.peek()
+            if flit is not None and (best is None or flit.ready_cycle < best):
+                best = flit.ready_cycle
+        return best
+
+    def skip_cycles(self, cycles: int) -> None:
+        """Replay ``cycles`` consecutive no-activity steps in closed form.
+
+        The caller (the event-driven backend) guarantees that during the
+        skipped stretch no head-of-line flit anywhere in the network is
+        ready, so a cycle-accurate step of this router would at most notify
+        requester-less arbiters of an idle cycle (a no-op for round-robin, a
+        saturating credit refill for WaW) -- exactly what this method applies
+        in bulk.  Output ports held by a wormhole lock are skipped, matching
+        the per-cycle code path.
+        """
+        if cycles <= 0:
+            return
+        if not self.has_work():
+            self._settle_idle()
+            return
+        self._was_idle = False
+        for out_port, arbiter in self.arbiters.items():
+            if self.output_owner[out_port] is None:
+                arbiter.idle_cycles(cycles)
+
+    def _settle_idle(self) -> None:
+        """Apply the one-time arbiter refill of a router that went quiet.
+
+        The WaW credit counters refill while their output ports sit idle;
+        doing it once (capped at the buffer depth) when the router goes quiet
+        is equivalent to calling idle_cycle every empty cycle.
+        """
+        if self._was_idle:
+            return
+        for arbiter in self.arbiters.values():
+            arbiter.idle_cycles(self.config.buffer_depth)
+        self._was_idle = True
+
+    # ------------------------------------------------------------------
     # One simulation cycle
     # ------------------------------------------------------------------
     def step(self, now: int, events: List[RouterEvent]) -> None:
         """Evaluate one cycle, appending the resulting events to ``events``."""
         if not self.has_work():
-            # Nothing buffered anywhere: the WaW credit counters refill while
-            # their output ports sit idle; doing it once when the router goes
-            # quiet is equivalent to calling idle_cycle every empty cycle.
-            if not self._was_idle:
-                for arbiter in self.arbiters.values():
-                    for _ in range(self.config.buffer_depth):
-                        arbiter.idle_cycle()
-                self._was_idle = True
+            # Nothing buffered anywhere: apply the one-time idle refill.
+            self._settle_idle()
             return
         self._was_idle = False
 

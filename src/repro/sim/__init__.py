@@ -1,0 +1,46 @@
+"""Pluggable simulation backends for the cycle-accurate NoC/manycore models.
+
+The flit-level semantics of the simulator live in :mod:`repro.noc` and
+:mod:`repro.manycore`; *how time is advanced* is a separate, pluggable
+concern defined here:
+
+* :class:`CycleAccurateBackend` -- the reference backend: every component is
+  evaluated on every clock cycle (the seed's ``Network.run_until_idle`` /
+  ``ManycoreSystem.run_to_completion`` loops, extracted verbatim);
+* :class:`EventDrivenBackend` -- the fast backend: it tracks the next cycle
+  at which *anything* in the system can act (a buffered flit becoming ready,
+  a NIC holding injection credits, a core finishing its compute gap, a
+  memory reply leaving the controller) and jumps straight there, replaying
+  the skipped cycles' only state effects (WaW arbiter credit refills, core
+  stall/compute counters) in closed form.  It reproduces the cycle-accurate
+  results *bit for bit* -- the differential test suite
+  (``tests/test_differential.py``) enforces this over a grid of topologies,
+  routings, designs and workloads.
+
+Backends are selected by name (``"cycle"`` / ``"event"``) through
+:attr:`repro.core.config.NoCConfig.sim_backend`,
+:meth:`repro.api.Scenario.backend`, the ``backend=`` parameter of the
+simulating experiments and the ``repro-experiments --backend`` flag.
+"""
+
+from .backend import (
+    SimulationBackend,
+    SimulationStallError,
+    available_backends,
+    make_backend,
+    normalize_backend_name,
+    register_backend,
+)
+from .cycle import CycleAccurateBackend
+from .event import EventDrivenBackend
+
+__all__ = [
+    "SimulationBackend",
+    "SimulationStallError",
+    "available_backends",
+    "make_backend",
+    "normalize_backend_name",
+    "register_backend",
+    "CycleAccurateBackend",
+    "EventDrivenBackend",
+]

@@ -1,0 +1,160 @@
+"""The :class:`SimulationBackend` interface and the backend registry.
+
+A backend owns the *time-advancement loops* of the simulator -- nothing
+else.  The flit/credit/arbitration semantics stay in :mod:`repro.noc` and
+:mod:`repro.manycore`; a backend drives them through a small, documented
+surface (``step``, ``is_idle``/``is_complete``, ``next_activity_cycle``,
+``skip_idle_cycles``/``skip_cycles``), so every backend simulates exactly
+the same hardware model and differs only in how fast it walks the clock.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple, Type, Union
+
+__all__ = [
+    "SimulationBackend",
+    "SimulationStallError",
+    "available_backends",
+    "make_backend",
+    "register_backend",
+]
+
+
+class SimulationStallError(RuntimeError):
+    """A bounded simulation run exhausted its cycle budget before finishing.
+
+    Raised by ``Network.run_until_idle`` and
+    ``ManycoreSystem.run_to_completion`` (under every backend) with a
+    description of what is still in flight -- buffered flit counts, per-node
+    occupancy, unfinished cores -- so a deadlocked or under-budgeted run is
+    diagnosable from the message alone.
+    """
+
+
+class SimulationBackend:
+    """Interface of a simulation time-advancement strategy.
+
+    Backends are stateless: all simulation state lives in the
+    :class:`~repro.noc.network.Network` / :class:`~repro.manycore.system.ManycoreSystem`
+    being driven, so one backend instance can serve any number of concurrent
+    simulations.
+    """
+
+    #: Registry name of the backend (overridden by every implementation).
+    name = "abstract"
+
+    def run_until_idle(self, network, *, max_cycles: int = 1_000_000) -> int:
+        """Advance ``network`` until it drains; return the final cycle.
+
+        Raises :class:`SimulationStallError` when the network still holds
+        flits after ``max_cycles`` cycles.
+        """
+        raise NotImplementedError
+
+    def run_to_completion(self, system, *, max_cycles: int = 5_000_000) -> int:
+        """Advance ``system`` until every core finished and the NoC drained.
+
+        Returns the number of cycles elapsed; raises
+        :class:`SimulationStallError` on budget exhaustion.
+        """
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+#: name -> backend class.  Aliases map long names onto the canonical ones.
+_REGISTRY: Dict[str, Type[SimulationBackend]] = {}
+_ALIASES: Dict[str, str] = {
+    "cycle-accurate": "cycle",
+    "event-driven": "event",
+}
+#: Backends are stateless, so one instance per class suffices.
+_INSTANCES: Dict[str, SimulationBackend] = {}
+
+
+def register_backend(cls: Type[SimulationBackend]) -> Type[SimulationBackend]:
+    """Class decorator registering a backend under its ``name``."""
+    name = cls.name
+    if not isinstance(name, str) or not name or name == "abstract":
+        raise ValueError(f"backend class {cls.__name__} needs a concrete name")
+    _REGISTRY[name] = cls
+    return cls
+
+
+def available_backends() -> List[str]:
+    """The canonical backend names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def normalize_backend_name(name: str) -> str:
+    """Resolve aliases and validate ``name`` against the registry."""
+    canonical = _ALIASES.get(name, name)
+    if canonical not in _REGISTRY:
+        known = ", ".join(available_backends())
+        raise ValueError(f"unknown simulation backend {name!r}; known backends: {known}")
+    return canonical
+
+
+def make_backend(spec: Union[str, SimulationBackend, None]) -> SimulationBackend:
+    """Resolve a backend name (or pass an instance through) to a backend.
+
+    ``None`` resolves to the default cycle-accurate backend.
+    """
+    if spec is None:
+        spec = "cycle"
+    if isinstance(spec, SimulationBackend):
+        return spec
+    if not isinstance(spec, str):
+        raise TypeError(f"backend must be a name or a SimulationBackend, got {spec!r}")
+    canonical = normalize_backend_name(spec)
+    instance = _INSTANCES.get(canonical)
+    if instance is None:
+        instance = _INSTANCES.setdefault(canonical, _REGISTRY[canonical]())
+    return instance
+
+
+def network_stall_error(network, max_cycles: int) -> SimulationStallError:
+    """Build the descriptive drain-timeout error for ``network``.
+
+    Reports the total buffered/queued flit count and the occupancy of the
+    busiest nodes so deadlocks (e.g. adversarial traffic on a wrapped
+    topology) are diagnosable without re-running under a debugger.
+    """
+    occupancy: List[Tuple[int, str]] = []
+    total_buffered = 0
+    total_queued = 0
+    for coord, router in network.routers.items():
+        buffered = router.buffered_flits()
+        queued = network.nics[coord].pending_injection_flits()
+        total_buffered += buffered
+        total_queued += queued
+        if buffered or queued:
+            occupancy.append((buffered + queued, f"{coord}: {buffered} buffered + {queued} queued"))
+    occupancy.sort(key=lambda item: (-item[0], item[1]))
+    busiest = "; ".join(text for _, text in occupancy[:8])
+    if len(occupancy) > 8:
+        busiest += f"; ... ({len(occupancy) - 8} more nodes)"
+    return SimulationStallError(
+        f"network did not drain within {max_cycles} cycles: "
+        f"{total_buffered} flit(s) buffered in routers, "
+        f"{total_queued} flit(s) queued for injection across "
+        f"{len(occupancy)} node(s) [{busiest}]"
+    )
+
+
+def system_stall_error(system, max_cycles: int) -> SimulationStallError:
+    """Build the descriptive completion-timeout error for ``system``."""
+    unfinished = [core.name for core in system.cores.values() if not core.done]
+    listed = ", ".join(unfinished[:8])
+    if len(unfinished) > 8:
+        listed += f", ... ({len(unfinished) - 8} more)"
+    pending = system.memory_controller.pending_replies()
+    buffered = system.network.buffered_flits()
+    return SimulationStallError(
+        f"workload did not complete within {max_cycles} cycles: "
+        f"{len(unfinished)} core(s) unfinished [{listed or 'none'}], "
+        f"{buffered} flit(s) still buffered in the network, "
+        f"{pending} reply(ies) pending at the memory controller"
+    )

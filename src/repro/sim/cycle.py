@@ -1,0 +1,42 @@
+"""The reference backend: every component steps on every clock cycle.
+
+These are the seed's original ``Network.run_until_idle`` and
+``ManycoreSystem.run_to_completion`` loops, extracted behind the
+:class:`~repro.sim.backend.SimulationBackend` interface.  Only the timeout
+errors changed: they now describe what is still in flight (see
+:class:`~repro.sim.backend.SimulationStallError`).
+"""
+
+from __future__ import annotations
+
+from .backend import (
+    SimulationBackend,
+    network_stall_error,
+    register_backend,
+    system_stall_error,
+)
+
+__all__ = ["CycleAccurateBackend"]
+
+
+@register_backend
+class CycleAccurateBackend(SimulationBackend):
+    """Advance the clock one cycle at a time, stepping everything."""
+
+    name = "cycle"
+
+    def run_until_idle(self, network, *, max_cycles: int = 1_000_000) -> int:
+        start = network.cycle
+        while not network.is_idle():
+            if network.cycle - start > max_cycles:
+                raise network_stall_error(network, max_cycles)
+            network.step()
+        return network.cycle
+
+    def run_to_completion(self, system, *, max_cycles: int = 5_000_000) -> int:
+        start = system.cycle
+        while not system.is_complete():
+            if system.cycle - start > max_cycles:
+                raise system_stall_error(system, max_cycles)
+            system.step()
+        return system.cycle - start

@@ -1,0 +1,44 @@
+#!/usr/bin/env python3
+"""Regenerate the golden result files pinned by ``tests/test_golden.py``.
+
+Each golden file is the serialized ``ExperimentResult.to_dict()`` (via
+``to_json``) of one registered experiment's quick run.  The golden suite
+asserts that every future refactor reproduces these numbers exactly -- so
+only regenerate them when a change is *supposed* to alter results, and say
+why in the commit message.
+
+Usage::
+
+    PYTHONPATH=src python tools/make_golden.py [NAME ...]
+
+With no arguments every registered experiment is regenerated.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "..", "tests", "golden")
+
+
+def main(argv) -> int:
+    from repro.api import get_experiment, list_experiments
+
+    names = argv or [spec.name for spec in list_experiments()]
+    os.makedirs(GOLDEN_DIR, exist_ok=True)
+    for name in names:
+        spec = get_experiment(name)
+        result = spec.run(quick=True)
+        path = os.path.join(GOLDEN_DIR, f"{name}.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(result.to_json(indent=2))
+            handle.write("\n")
+        print(f"wrote {os.path.relpath(path)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
