@@ -1,0 +1,139 @@
+"""Benchmark: fault injection, HARQ recovery and Monte-Carlo throughput.
+
+Two questions, recorded in ``BENCH_faults.json`` at the repository root:
+
+* what does the fault-injection + HARQ machinery cost per backend --
+  event-driven vs cycle-accurate wall-clock on the same faulty workload,
+  with the differential guard that both deliver bit-identical statistics;
+* how many Monte-Carlo trials per second the reliability engine sustains
+  on the uniform-traffic workload (the unit of work of the
+  ``reliability_sweep`` experiment).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from repro.api import Scenario
+from repro.faults.montecarlo import run_trials
+from repro.geometry import Coord
+from repro.noc.network import Network
+
+BENCH_JSON = os.path.join(os.path.dirname(__file__), "..", "BENCH_faults.json")
+
+#: Total flit-fault rate of the benchmark workload, split evenly between
+#: corruption and loss -- high enough to exercise retransmissions on every
+#: run, low enough never to exhaust the retry budget.
+FAULT_RATE = 0.005
+MESH_SIZE = 8
+MC_TRIALS = 10
+
+_RECORD = {}
+
+
+def _write_record() -> None:
+    with open(BENCH_JSON, "w", encoding="utf-8") as handle:
+        json.dump(_RECORD, handle, indent=2)
+        handle.write("\n")
+
+
+def _faulty_scenario(backend: str) -> Scenario:
+    return (
+        Scenario.mesh(MESH_SIZE)
+        .waw_wap()
+        .backend(backend)
+        .fault_model(
+            "independent",
+            corrupt_rate=FAULT_RATE / 2,
+            loss_rate=FAULT_RATE / 2,
+            seed=7,
+            ack_timeout=128,
+        )
+    )
+
+
+def _drain_hotspot(backend: str):
+    """All-to-one hotspot burst under faults; returns (stats, seconds)."""
+    network = Network(_faulty_scenario(backend).build())
+    for src in network.mesh.nodes():
+        if src != Coord(0, 0):
+            network.send(src, Coord(0, 0), 4, kind="load")
+    start = time.perf_counter()
+    network.run_until_idle(max_cycles=1_000_000)
+    seconds = time.perf_counter() - start
+    stats = (
+        network.cycle,
+        network.stats.completed_messages,
+        network.total_retransmissions(),
+        tuple(sorted(network.fault_counts().items())),
+        tuple(m.latency for m in network.stats.messages),
+    )
+    return stats, seconds
+
+
+def bench_faulty_drain_event_vs_cycle(benchmark):
+    """Event-driven vs cycle-accurate on the same faulty hotspot burst."""
+    cycle_stats, cycle_seconds = _drain_hotspot("cycle")
+
+    state = {}
+
+    def run_event():
+        state["stats"], state["seconds"] = _drain_hotspot("event")
+
+    benchmark.pedantic(run_event, rounds=2, iterations=1)
+
+    # Differential guard: faults or not, both backends must agree exactly.
+    assert state["stats"] == cycle_stats
+
+    speedup = cycle_seconds / state["seconds"]
+    _RECORD["faulty_drain"] = {
+        "benchmark": f"all-to-one 4-flit burst on the {MESH_SIZE}x{MESH_SIZE} "
+        f"WaW+WaP mesh at {FAULT_RATE:g} total flit-fault rate",
+        "messages": cycle_stats[1],
+        "retransmissions": cycle_stats[2],
+        "simulated_cycles": cycle_stats[0],
+        "cycle_accurate_seconds": round(cycle_seconds, 3),
+        "event_driven_seconds": round(state["seconds"], 3),
+        "event_speedup": round(speedup, 2),
+        "stats_identical": True,
+    }
+    _write_record()
+    benchmark.extra_info.update(_RECORD["faulty_drain"])
+
+
+def bench_montecarlo_trials_per_second(benchmark):
+    """Serial Monte-Carlo throughput of the uniform-traffic workload."""
+    config = _faulty_scenario("event").build()
+
+    state = {}
+
+    def run_study():
+        start = time.perf_counter()
+        state["result"] = run_trials(
+            config,
+            trials=MC_TRIALS,
+            workload="uniform",
+            injection_rate=0.05,
+            cycles=300,
+        )
+        state["seconds"] = time.perf_counter() - start
+
+    benchmark.pedantic(run_study, rounds=2, iterations=1)
+    result = state["result"]
+    assert result.failed_trials == 0
+    assert result.distribution is not None and result.distribution.count > 0
+
+    trials_per_second = MC_TRIALS / state["seconds"]
+    _RECORD["montecarlo"] = {
+        "benchmark": f"{MC_TRIALS} seeded uniform-traffic trials on the "
+        f"{MESH_SIZE}x{MESH_SIZE} faulty mesh (event-driven backend, serial)",
+        "trials": MC_TRIALS,
+        "latency_samples": result.distribution.count,
+        "retransmissions": result.total_retransmissions,
+        "seconds": round(state["seconds"], 3),
+        "trials_per_second": round(trials_per_second, 2),
+    }
+    _write_record()
+    benchmark.extra_info.update(_RECORD["montecarlo"])

@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""Reliability sweep: how lossy links erode the paper's latency guarantees.
+
+The paper's WCTT analysis bounds the worst-case traversal time of every
+message *assuming perfectly reliable links*.  This example asks what
+happens when that assumption breaks: per-link fault models corrupt or lose
+flits in flight, the NICs recover with a HARQ-style ACK/NACK retransmission
+protocol, and the Monte-Carlo engine replays the workload across seeds to
+estimate the resulting latency *distribution*.
+
+Three views of the same question:
+
+1. a single faulty run, showing the HARQ protocol at message level
+   (sequence numbers, retransmissions, exactly-once delivery);
+2. the Monte-Carlo latency distribution of uniform traffic under an
+   independent fault model, at increasing fault rates;
+3. the registered ``reliability_sweep`` experiment: the victim core's
+   memory-reply tail (p99 / p99.9) against the analytical WCTT bound --
+   the fault rate at which p99 crosses the bound is the point where the
+   paper's guarantee stops holding on lossy links.
+
+Run it with::
+
+    python examples/reliability_sweep.py
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.analysis.reporting import format_table, format_title
+from repro.api import Scenario
+from repro.faults.montecarlo import run_trials
+from repro.geometry import Coord
+from repro.noc import Network
+
+#: Split evenly between corruption and loss at each total fault rate.
+FAULT_RATES = (0.0, 0.005, 0.01, 0.02)
+
+
+def single_run_rows() -> List[Dict[str, object]]:
+    """One faulty run: the HARQ protocol seen from the message level."""
+    rows = []
+    for rate in (0.0, 0.02):
+        scenario = Scenario.mesh(4).waw_wap()
+        if rate:
+            scenario = scenario.fault_model(
+                "independent", corrupt_rate=rate / 2, loss_rate=rate / 2,
+                seed=7, ack_timeout=64,
+            )
+        network = Network(scenario.build())
+        messages = [
+            network.send(node, Coord(0, 0), payload_flits=4, kind="eviction")
+            for node in network.mesh.nodes()
+            if node != Coord(0, 0)
+        ]
+        cycles = network.run_until_idle(max_cycles=1_000_000)
+        rows.append(
+            {
+                "fault rate": f"{rate:g}",
+                "messages": len(messages),
+                "delivered": network.stats.completed_messages,
+                "retransmissions": network.total_retransmissions(),
+                "flit faults": network.fault_counts()["corrupted"]
+                + network.fault_counts()["lost"],
+                "drain cycles": cycles,
+            }
+        )
+    return rows
+
+
+def montecarlo_rows() -> List[Dict[str, object]]:
+    """Latency distribution of uniform traffic vs. fault rate (5 seeds)."""
+    rows = []
+    for rate in FAULT_RATES:
+        scenario = Scenario.mesh(4).waw_wap()
+        if rate:
+            scenario = scenario.fault_model(
+                "independent", corrupt_rate=rate / 2, loss_rate=rate / 2,
+                ack_timeout=128,
+            )
+        study = run_trials(
+            scenario.build(),
+            trials=1 if rate == 0.0 else 5,
+            workload="uniform",
+            injection_rate=0.05,
+            cycles=300,
+        )
+        dist = study.distribution
+        rows.append(
+            {
+                "fault rate": f"{rate:g}",
+                "trials": study.trials,
+                "failed": study.failed_trials,
+                "samples": dist.count if dist else 0,
+                "mean": round(dist.mean, 1) if dist else "-",
+                "p50": dist.p50 if dist else "-",
+                "p99": dist.p99 if dist else "-",
+                "max": dist.maximum if dist else "-",
+                "ci95": round(dist.ci95, 2) if dist else "-",
+                "retx": study.total_retransmissions,
+            }
+        )
+    return rows
+
+
+def main() -> None:
+    print(format_title("One run: HARQ recovery under independent link faults (4x4)"))
+    print(format_table(single_run_rows()))
+    print()
+
+    print(format_title("Monte-Carlo: uniform-traffic latency distribution vs. fault rate"))
+    print(format_table(montecarlo_rows()))
+    print()
+
+    print(format_title("Registered experiment: memory-reply tail vs. the WCTT bound"))
+    from repro.experiments import reliability_sweep
+
+    rows = reliability_sweep.run(
+        mesh_size=4, fault_rates=(0.0, 0.01, 0.04), trials=5,
+        scale=0.004, background=3,
+    )
+    print(reliability_sweep.report(rows))
+    print()
+    print(
+        "At rate zero the simulated tail sits below the analytical bound (the\n"
+        "bound is sound on reliable links); as the fault rate grows, retransmit\n"
+        "round trips push p99 past it -- the quantitative edge of the paper's\n"
+        "guarantee on lossy links."
+    )
+
+
+if __name__ == "__main__":
+    main()

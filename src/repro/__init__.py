@@ -96,8 +96,16 @@ from .sim import (
 )
 from .noc import Network
 from .manycore import ManycoreSystem, Placement, standard_placements
+from .faults import (
+    FaultModel,
+    GilbertElliottFaults,
+    IndependentFaults,
+    MessageDeliveryError,
+    ReliabilityConfig,
+    make_fault_model,
+)
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "Coord",
@@ -141,6 +149,12 @@ __all__ = [
     "ManycoreSystem",
     "Placement",
     "standard_placements",
+    "FaultModel",
+    "IndependentFaults",
+    "GilbertElliottFaults",
+    "ReliabilityConfig",
+    "MessageDeliveryError",
+    "make_fault_model",
     "BatchEngine",
     "BatchJob",
     "BatchResult",

@@ -27,7 +27,32 @@ from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 from . import registry
 from .results import ExperimentResult, ResultEncoder, _plain
 
-__all__ = ["BatchJob", "BatchResult", "BatchEngine", "config_hash"]
+__all__ = ["BatchJob", "BatchResult", "BatchEngine", "config_hash", "map_jobs"]
+
+
+def map_jobs(fn, items: Sequence[Any], *, jobs: int = 1) -> List[Any]:
+    """Map a picklable function over ``items`` on the batch worker pool.
+
+    The parallel fan-out used by :class:`BatchEngine` for cache misses,
+    exposed for other bulk workloads (the Monte-Carlo trial runner of
+    :mod:`repro.faults.montecarlo` reuses it).  ``jobs = 1`` -- or a single
+    item -- runs in-process; larger values fan out over a
+    :mod:`multiprocessing` pool of ``min(jobs, len(items))`` workers.
+    Results come back in item order.
+    """
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    items = list(items)
+    if not items:
+        return []
+    if jobs == 1 or len(items) == 1:
+        return [fn(item) for item in items]
+    import multiprocessing
+
+    workers = min(jobs, len(items))
+    context = multiprocessing.get_context()
+    with context.Pool(processes=workers) as pool:
+        return pool.map(fn, items)
 
 
 @dataclass(frozen=True)
@@ -305,13 +330,4 @@ class BatchEngine:
         os.replace(tmp_path, path)
 
     def _compute(self, jobs: List[BatchJob]) -> List[Tuple[ExperimentResult, float]]:
-        if not jobs:
-            return []
-        if self.jobs == 1 or len(jobs) == 1:
-            return [_execute_job(job) for job in jobs]
-        import multiprocessing
-
-        workers = min(self.jobs, len(jobs))
-        context = multiprocessing.get_context()
-        with context.Pool(processes=workers) as pool:
-            return pool.map(_execute_job, jobs)
+        return map_jobs(_execute_job, jobs, jobs=self.jobs)

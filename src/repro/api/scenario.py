@@ -41,6 +41,7 @@ from ..core.config import (
     PacketizationPolicy,
     RouterTiming,
 )
+from ..faults.models import FaultModel, make_fault_model
 from ..geometry import Coord, Mesh
 from ..sim import normalize_backend_name
 from ..topology import make_topology
@@ -219,6 +220,29 @@ class Scenario:
         return self._with(messages=messages)
 
     # ------------------------------------------------------------------
+    # Fault model selection
+    # ------------------------------------------------------------------
+    def fault_model(self, model: Any = None, **params: Any) -> "Scenario":
+        """Attach a per-link fault model (and HARQ reliability protocol).
+
+        Accepts whatever :func:`repro.faults.make_fault_model` accepts: a
+        kind name with parameters (``.fault_model("independent",
+        loss_rate=0.01, seed=3)``), a mapping with a ``"kind"`` entry, a
+        ready :class:`~repro.faults.FaultModel`, or ``None`` to remove the
+        model again.  A *null* model (all fault rates zero) simulates
+        bit-identically to no fault model at all.
+        """
+        try:
+            spec = make_fault_model(model, **params)
+        except ValueError as exc:
+            raise ScenarioError(str(exc)) from None
+        if spec is None:
+            merged = dict(self._settings)
+            merged.pop("fault_model", None)
+            return Scenario(merged)
+        return self._with(fault_model=spec)
+
+    # ------------------------------------------------------------------
     # Introspection / terminal operations
     # ------------------------------------------------------------------
     @property
@@ -243,6 +267,8 @@ class Scenario:
             parts.append(f"b{s['buffer_depth']}")
         if s.get("backend", "cycle") != "cycle":
             parts.append(s["backend"])
+        if "fault_model" in s:
+            parts.append(s["fault_model"].label_token())
         return "-".join(parts)
 
     def build(self) -> NoCConfig:
@@ -280,6 +306,7 @@ class Scenario:
             "timing",
             "messages",
             "memory_controller",
+            "fault_model",
         ):
             if key in s:
                 kwargs[key] = s[key]
@@ -342,7 +369,23 @@ _SWEEP_AXES = {
     "min_packet_flits": lambda sc, v: sc.min_packet_flits(v),
     "buffer_depth": lambda sc, v: sc.buffer_depth(v),
     "memory_controller": lambda sc, v: sc.memory_controller(*v),
+    "fault_model": lambda sc, v: _apply_fault_model(sc, v),
 }
+
+
+def _apply_fault_model(scenario: "Scenario", value: Any) -> "Scenario":
+    """Apply one fault-model axis value: None, a kind name, mapping or spec.
+
+    ``fault_model=(None, "independent")`` sweeps reliable links against the
+    default independent model; mappings spell out the rates, e.g.
+    ``fault_model=[{"kind": "independent", "loss_rate": r} for r in rates]``.
+    """
+    if value is None or isinstance(value, (str, FaultModel, Mapping)):
+        return scenario.fault_model(value)
+    raise ScenarioError(
+        f"fault_model axis values must be None, kind names, mappings or "
+        f"FaultModel instances, got {value!r}"
+    )
 
 
 def _apply_mesh(scenario: Optional[Scenario], value: Any) -> Scenario:
@@ -412,6 +455,9 @@ def _axis_values(name: str, values: Any) -> List[Any]:
         return [values]
     if name == "topology" and isinstance(values, Mapping):
         # A single mapping is one axis value, not an iterable of keys.
+        return [values]
+    if name == "fault_model" and isinstance(values, (Mapping, FaultModel)):
+        # Same: one model spec, not an iterable of its keys.
         return [values]
     if name == "mesh" and isinstance(values, tuple) and len(values) == 2 and all(
         isinstance(v, int) for v in values

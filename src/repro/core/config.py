@@ -23,6 +23,7 @@ from dataclasses import dataclass, field, replace
 from enum import Enum
 from typing import Optional
 
+from ..faults.models import FaultModel, ModelSpecLike, make_fault_model
 from ..geometry import Coord, Mesh
 from ..topology.base import Topology, as_topology
 
@@ -178,6 +179,13 @@ class NoCConfig:
     #: :class:`~repro.noc.network.Network` is built; it does not affect any
     #: analytical model.
     sim_backend: str = "cycle"
+    #: Optional per-link fault model (:mod:`repro.faults`).  ``None`` -- and
+    #: any *null* model whose fault rates are all zero -- simulates perfectly
+    #: reliable links, bit-identically to the seed model; a faulty model
+    #: additionally arms the NIC-level HARQ retransmission protocol
+    #: configured by the model's ``reliability``.  Like ``sim_backend`` it
+    #: affects only simulation, never the analytical WCTT models.
+    fault_model: Optional[FaultModel] = None
 
     def __post_init__(self) -> None:
         if self.max_packet_flits < 1:
@@ -190,6 +198,11 @@ class NoCConfig:
             raise ValueError("buffer_depth must be >= 1")
         if not isinstance(self.sim_backend, str) or not self.sim_backend:
             raise ValueError("sim_backend must be a non-empty backend name")
+        if self.fault_model is not None and not isinstance(self.fault_model, FaultModel):
+            raise ValueError(
+                "fault_model must be a repro.faults.FaultModel (use "
+                "make_fault_model / with_fault_model to build one) or None"
+            )
         self.mesh.require(self.memory_controller)
 
     # ------------------------------------------------------------------
@@ -241,6 +254,16 @@ class NoCConfig:
     def with_backend(self, backend: str) -> "NoCConfig":
         """Same design point simulated by a different backend."""
         return replace(self, sim_backend=backend)
+
+    def with_fault_model(self, model: ModelSpecLike = None, **params) -> "NoCConfig":
+        """Same design point with a different link fault model.
+
+        Accepts whatever :func:`repro.faults.make_fault_model` accepts: a
+        ready :class:`~repro.faults.FaultModel`, a kind name with keyword
+        parameters (``config.with_fault_model("independent",
+        loss_rate=0.01)``), a mapping, or ``None`` to remove the model.
+        """
+        return replace(self, fault_model=make_fault_model(model, **params))
 
     def describe(self) -> str:
         """One-line human readable description (used by reports)."""

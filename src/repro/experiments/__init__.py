@@ -12,6 +12,7 @@ Module                    Paper artefact
 ``area_overhead``         Section III -- router area overhead (< 5 %)
 ``ablation_mechanisms``   (extension) WaP-only / WaW-only decomposition
 ``bound_validation``      (extension) analytical bounds vs simulation
+``reliability_sweep``     (extension) Monte-Carlo latency under link faults
 ``runner``                command-line front-end (``repro-experiments``)
 ========================  =====================================================
 """
@@ -23,6 +24,7 @@ from . import (
     bound_validation,
     fig2a_packet_size,
     fig2b_placement,
+    reliability_sweep,
     table1_weights,
     table2_wctt,
     table3_eembc,
@@ -35,6 +37,7 @@ __all__ = [
     "bound_validation",
     "fig2a_packet_size",
     "fig2b_placement",
+    "reliability_sweep",
     "table1_weights",
     "table2_wctt",
     "table3_eembc",

@@ -93,6 +93,13 @@ def _csv_ints(text: str) -> List[int]:
         raise argparse.ArgumentTypeError(f"expected comma-separated integers, got {text!r}")
 
 
+def _csv_floats(text: str) -> List[float]:
+    try:
+        return [float(part) for part in text.split(",") if part.strip()]
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected comma-separated numbers, got {text!r}")
+
+
 def _backend_name(text: str) -> str:
     """argparse type: resolve backend names and aliases, reject unknowns."""
     try:
@@ -193,6 +200,17 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument(
         "--packet-flits", type=_csv_ints, default=None, metavar="N,N,...",
         help="maximum packet sizes to sweep, e.g. 1,4,8",
+    )
+    sweep_parser.add_argument(
+        "--fault-rates", type=_csv_floats, default=None, metavar="R,R,...",
+        help=(
+            "per-link fault rates to sweep (reliability_sweep), "
+            "e.g. 0,0.005,0.02"
+        ),
+    )
+    sweep_parser.add_argument(
+        "--trials", type=int, default=None, metavar="N",
+        help="Monte-Carlo trials per design point (reliability_sweep)",
     )
     sweep_parser.add_argument(
         "--quick", action="store_true",
@@ -337,13 +355,21 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     except UnknownExperimentError as error:
         print(str(error), file=sys.stderr)
         return 2
-    axes: Dict[str, List[int]] = {}
+    axes: Dict[str, List[Any]] = {}
     if args.sizes:
         axes["size"] = args.sizes
     if args.packet_flits:
         axes["packet_flits"] = args.packet_flits
+    if args.fault_rates:
+        axes["fault_rate"] = args.fault_rates
+    if args.trials is not None:
+        axes["trials"] = [args.trials]
     if not axes:
-        print("sweep needs at least one axis (--sizes and/or --packet-flits)", file=sys.stderr)
+        print(
+            "sweep needs at least one axis "
+            "(--sizes, --packet-flits, --fault-rates and/or --trials)",
+            file=sys.stderr,
+        )
         return 2
     engine = _make_engine(args)
     if engine is None:

@@ -1,0 +1,33 @@
+"""Lossy-link fault injection and HARQ-style reliability (`repro.faults`).
+
+This package adds the probabilistic counterpart to the paper's deterministic
+worst-case analysis: per-link fault models that corrupt or drop flits in
+flight (:mod:`repro.faults.models`), the NIC-level ACK/NACK retransmission
+protocol that recovers from them (implemented in :mod:`repro.noc.nic`), and
+a Monte-Carlo engine replaying scenarios across seeded trials to estimate
+latency distributions under faults (:mod:`repro.faults.montecarlo`).
+
+Only the lightweight specification layer is imported here, so that
+``repro.core.config`` can depend on it without a cycle; import
+``repro.faults.montecarlo`` explicitly for the trial runner.
+"""
+
+from .models import (
+    FaultModel,
+    GilbertElliottFaults,
+    IndependentFaults,
+    LinkFaultInjector,
+    MessageDeliveryError,
+    ReliabilityConfig,
+    make_fault_model,
+)
+
+__all__ = [
+    "FaultModel",
+    "GilbertElliottFaults",
+    "IndependentFaults",
+    "LinkFaultInjector",
+    "MessageDeliveryError",
+    "ReliabilityConfig",
+    "make_fault_model",
+]

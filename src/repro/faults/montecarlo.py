@@ -1,0 +1,326 @@
+"""Monte-Carlo reliability engine: replay a scenario across seeded trials.
+
+The fault models of :mod:`repro.faults.models` make a single simulation a
+*sample* from a latency distribution rather than a deterministic number.
+This module estimates that distribution: :func:`run_trials` replays one
+design point under ``N`` different fault seeds -- fanning the trials out
+over the batch engine's worker pool (:func:`repro.api.engine.map_jobs`) --
+and aggregates the observed latencies into a
+:class:`LatencyDistribution` with mean, percentile and confidence-interval
+summaries.  That is the statistical counterpart to the paper's analytical
+WCTT bound: the bound says what can *never* be exceeded on reliable links,
+the distribution says what is *likely* under a given fault rate.
+
+A trial whose traffic exhausts the HARQ retry budget does not abort the
+whole study: the :class:`~repro.faults.MessageDeliveryError` is captured in
+the trial's :class:`TrialOutcome` (``failed=True`` with the description),
+so delivery-failure *probability* is itself one of the estimated outputs.
+
+Everything is deterministic given ``base_seed``: trial ``i`` runs with the
+fault model reseeded to ``base_seed + i``, per-link streams are derived by
+SHA-256 (process independent), and the workloads are deterministic, so the
+same call reproduces the same distribution on any backend and any worker
+count.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from statistics import mean, pstdev
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core.config import NoCConfig
+from .models import MessageDeliveryError
+
+__all__ = [
+    "LatencyDistribution",
+    "MonteCarloResult",
+    "TrialOutcome",
+    "available_workloads",
+    "percentile",
+    "run_trials",
+]
+
+#: z-score of the two-sided 95 % confidence interval of a normal mean.
+_Z95 = 1.96
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of ``samples`` (``q`` in [0, 100]).
+
+    The nearest-rank definition always returns an actually observed value
+    (no interpolation), which keeps tail percentiles honest on the small
+    sample counts Monte-Carlo studies typically afford.
+    """
+    if not samples:
+        raise ValueError("no samples")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile must be within [0, 100], got {q!r}")
+    ordered = sorted(samples)
+    if q == 0.0:
+        return ordered[0]
+    rank = math.ceil(q / 100.0 * len(ordered))
+    return ordered[rank - 1]
+
+
+@dataclass(frozen=True)
+class LatencyDistribution:
+    """Summary statistics of one set of latency samples.
+
+    ``ci95`` is the half-width of the 95 % confidence interval of the mean
+    (``1.96 * sigma / sqrt(n)`` with the population standard deviation), so
+    it shrinks as ``1/sqrt(n)`` with the sample count -- the property the
+    test suite pins down.
+    """
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    p50: float
+    p90: float
+    p99: float
+    p999: float
+    ci95: float
+
+    @classmethod
+    def from_samples(cls, samples: Sequence[float]) -> "LatencyDistribution":
+        if not samples:
+            raise ValueError("no samples")
+        sigma = pstdev(samples)
+        return cls(
+            count=len(samples),
+            mean=mean(samples),
+            std=sigma,
+            minimum=min(samples),
+            maximum=max(samples),
+            p50=percentile(samples, 50.0),
+            p90=percentile(samples, 90.0),
+            p99=percentile(samples, 99.0),
+            p999=percentile(samples, 99.9),
+            ci95=_Z95 * sigma / math.sqrt(len(samples)),
+        )
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "mean": round(self.mean, 3),
+            "std": round(self.std, 3),
+            "min": self.minimum,
+            "max": self.maximum,
+            "p50": self.p50,
+            "p90": self.p90,
+            "p99": self.p99,
+            "p999": self.p999,
+            "ci95": round(self.ci95, 3),
+        }
+
+
+@dataclass(frozen=True)
+class TrialOutcome:
+    """What one seeded trial produced.
+
+    A failed trial (retry budget exhausted) carries the
+    :class:`~repro.faults.MessageDeliveryError` description in ``failure``
+    and contributes no latency samples.
+    """
+
+    seed: int
+    failed: bool = False
+    failure: Optional[str] = None
+    makespan: int = 0
+    latencies: Tuple[int, ...] = ()
+    delivered_messages: int = 0
+    retransmissions: int = 0
+    fault_counts: Dict[str, int] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class MonteCarloResult:
+    """Aggregated outcome of a :func:`run_trials` study."""
+
+    trials: int
+    failed_trials: int
+    outcomes: Tuple[TrialOutcome, ...]
+    #: Distribution over the pooled latency samples of the successful
+    #: trials; ``None`` when every trial failed (or none produced samples).
+    distribution: Optional[LatencyDistribution]
+    makespans: Tuple[int, ...]
+    total_retransmissions: int
+    fault_counts: Dict[str, int]
+
+    @property
+    def failure_rate(self) -> float:
+        """Fraction of trials that exhausted the retry budget."""
+        return self.failed_trials / self.trials if self.trials else 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        data: Dict[str, object] = {
+            "trials": self.trials,
+            "failed_trials": self.failed_trials,
+            "failure_rate": round(self.failure_rate, 4),
+            "retransmissions": self.total_retransmissions,
+            "fault_counts": dict(self.fault_counts),
+        }
+        if self.distribution is not None:
+            data["latency"] = self.distribution.as_dict()
+        return data
+
+
+# ----------------------------------------------------------------------
+# Trial workloads
+# ----------------------------------------------------------------------
+def _eembc_trial(config: NoCConfig, params: Dict[str, object]):
+    """Multiprogrammed EEMBC-like workload; samples the victim's replies.
+
+    The *victim* -- the node farthest from the memory controller -- runs a
+    memory-bound profile; ``background`` further nodes (nearest to the MC
+    first) run profiles drawn round-robin from the Autobench-like suite.
+    The latency samples are the victim's reply messages (memory -> victim),
+    end to end, the flow whose worst case the paper's WCTT analysis bounds.
+    """
+    from ..manycore.system import ManycoreSystem
+    from ..workloads.eembc import autobench_profile, autobench_suite
+
+    profile_name = str(params.get("profile", "matrix"))
+    scale = float(params.get("scale", 0.01))
+    background = int(params.get("background", 2))
+    max_cycles = int(params.get("max_cycles", 5_000_000))
+
+    mc = config.memory_controller
+    nodes = sorted(
+        (c for c in config.mesh.nodes() if c != mc),
+        key=lambda c: (c.manhattan(mc), c.y, c.x),
+    )
+    if not nodes:
+        raise ValueError("the mesh has no core node besides the memory controller")
+    victim = nodes[-1]
+    system = ManycoreSystem(config)
+    system.add_profile_core(victim, autobench_profile(profile_name).scaled(scale))
+    suite = autobench_suite()
+    for i, node in enumerate(nodes[: min(background, len(nodes) - 1)]):
+        system.add_profile_core(node, suite[i % len(suite)].scaled(scale))
+    system.run_to_completion(max_cycles=max_cycles)
+    samples = system.network.stats.latencies(kind="reply", destination=victim)
+    return samples, system.network, system.makespan()
+
+
+def _uniform_trial(config: NoCConfig, params: Dict[str, object]):
+    """Uniform random traffic on the bare network; samples every message."""
+    from ..noc.network import Network
+    from ..workloads.synthetic import UniformRandomTraffic
+
+    injection_rate = float(params.get("injection_rate", 0.02))
+    payload_flits = int(params.get("payload_flits", 4))
+    cycles = int(params.get("cycles", 400))
+    traffic_seed = int(params.get("traffic_seed", 1))
+    max_cycles = int(params.get("max_cycles", 5_000_000))
+
+    network = Network(config)
+    traffic = UniformRandomTraffic(
+        config.mesh,
+        injection_rate=injection_rate,
+        payload_flits=payload_flits,
+        seed=traffic_seed,
+    )
+    traffic.drive(network, cycles)
+    network.run_until_idle(max_cycles=max_cycles)
+    return network.stats.latencies(), network, network.cycle
+
+
+#: name -> workload callable ``f(config, params) -> (samples, network, makespan)``.
+_WORKLOADS: Dict[str, Callable] = {
+    "eembc": _eembc_trial,
+    "uniform": _uniform_trial,
+}
+
+
+def available_workloads() -> List[str]:
+    """The registered Monte-Carlo trial workload names, sorted."""
+    return sorted(_WORKLOADS)
+
+
+# ----------------------------------------------------------------------
+# Trial execution
+# ----------------------------------------------------------------------
+def _run_trial(spec: Tuple[NoCConfig, int, str, Dict[str, object]]) -> TrialOutcome:
+    """Run one seeded trial (also the worker-pool entry point)."""
+    config, seed, workload, params = spec
+    fault_model = config.fault_model
+    if fault_model is not None:
+        config = config.with_fault_model(fault_model.with_seed(seed))
+    runner = _WORKLOADS[workload]
+    try:
+        samples, network, makespan = runner(config, params)
+    except MessageDeliveryError as exc:
+        return TrialOutcome(seed=seed, failed=True, failure=str(exc))
+    return TrialOutcome(
+        seed=seed,
+        makespan=makespan,
+        latencies=tuple(samples),
+        delivered_messages=network.stats.completed_messages,
+        retransmissions=network.total_retransmissions(),
+        fault_counts=network.fault_counts(),
+    )
+
+
+def run_trials(
+    config: NoCConfig,
+    *,
+    trials: int,
+    base_seed: int = 1,
+    workload: str = "eembc",
+    jobs: int = 1,
+    **params: object,
+) -> MonteCarloResult:
+    """Replay ``config`` across ``trials`` fault seeds and pool the samples.
+
+    Trial ``i`` reseeds the config's fault model to ``base_seed + i``; the
+    workload itself stays fixed, so the fault seed is the only source of
+    randomness between trials.  ``workload`` names a registered trial
+    workload (:func:`available_workloads`): ``"eembc"`` runs the
+    multiprogrammed manycore and samples the victim node's memory replies,
+    ``"uniform"`` drives uniform random traffic on the bare network and
+    samples everything.  Remaining keyword arguments parameterise the
+    workload (e.g. ``scale=...``, ``background=...``, ``max_cycles=...``).
+
+    ``jobs > 1`` fans the trials out over the batch engine's worker pool;
+    results are independent of the worker count.  A config without a fault
+    model (or with a null one) is legal -- every trial is then identical --
+    which keeps zero-rate reference points uniform with the faulty ones.
+    """
+    if trials < 1:
+        raise ValueError("trials must be >= 1")
+    if workload not in _WORKLOADS:
+        known = ", ".join(available_workloads())
+        raise ValueError(f"unknown Monte-Carlo workload {workload!r}; known: {known}")
+    from ..api.engine import map_jobs
+
+    specs = [(config, base_seed + i, workload, dict(params)) for i in range(trials)]
+    outcomes: List[TrialOutcome] = map_jobs(_run_trial, specs, jobs=jobs)
+
+    pooled: List[int] = []
+    makespans: List[int] = []
+    total_retx = 0
+    fault_counts: Dict[str, int] = {"transmitted": 0, "corrupted": 0, "lost": 0}
+    failed = 0
+    for outcome in outcomes:
+        if outcome.failed:
+            failed += 1
+            continue
+        pooled.extend(outcome.latencies)
+        makespans.append(outcome.makespan)
+        total_retx += outcome.retransmissions
+        for key, value in outcome.fault_counts.items():
+            fault_counts[key] = fault_counts.get(key, 0) + value
+    return MonteCarloResult(
+        trials=trials,
+        failed_trials=failed,
+        outcomes=tuple(outcomes),
+        distribution=LatencyDistribution.from_samples(pooled) if pooled else None,
+        makespans=tuple(makespans),
+        total_retransmissions=total_retx,
+        fault_counts=fault_counts,
+    )

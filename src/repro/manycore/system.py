@@ -184,6 +184,9 @@ class ManycoreSystem:
         :class:`~repro.sim.SimulationStallError` -- naming the unfinished
         cores and the in-flight traffic -- after ``max_cycles``.
         """
+        injector = self.network.fault_injector
+        if injector is not None:
+            injector.spec.reliability.validate_drain_budget(max_cycles)
         return self.backend.run_to_completion(self, max_cycles=max_cycles)
 
     # ------------------------------------------------------------------

@@ -56,6 +56,9 @@ class Message:
     kind: str = "data"
     context: Optional[object] = None
     message_id: int = field(default_factory=lambda: next(_message_ids))
+    #: Per-sender sequence number under the HARQ reliability layer
+    #: (``None`` when the network has no fault model).
+    sequence: Optional[int] = None
     #: Cycle at which the sending NIC accepted the message.
     created_cycle: Optional[int] = None
     #: Cycle at which the first flit entered the network.
@@ -93,6 +96,12 @@ class Packet:
     index: int
     total: int
     packet_id: int = field(default_factory=lambda: next(_packet_ids))
+    #: Transmission attempt this packet belongs to (1 = original send;
+    #: retransmissions repacketize with higher attempts).
+    attempt: int = 1
+    #: Set by the fault injector when any flit of this packet was corrupted
+    #: or lost in flight; the destination NIC discards faulty packets.
+    faulty: bool = False
 
     def __post_init__(self) -> None:
         if self.size_flits < 1:
@@ -132,6 +141,10 @@ class Flit:
     #: Cycle at which the flit becomes visible at the head of its current
     #: buffer (set by the router/NIC when the flit is enqueued).
     ready_cycle: int = 0
+    #: Fault-injection marks: a corrupted flit carries damaged payload, a
+    #: lost flit is an erasure.  Either mark also sets ``packet.faulty``.
+    corrupted: bool = False
+    lost: bool = False
 
     @property
     def is_head(self) -> bool:

@@ -59,11 +59,22 @@ class Network:
             weight_table = WeightTable.from_closed_form(config.mesh)
         self.weight_table = weight_table
 
+        # A null fault model (all rates zero) is treated exactly like no
+        # fault model at all: no injector, no HARQ state in the NICs, and a
+        # simulation bit-identical to the reliable-link path.
+        fault_spec = config.fault_model
+        if fault_spec is not None and fault_spec.is_null:
+            fault_spec = None
+        #: Per-link fault runtime; ``None`` on a reliable network.
+        self.fault_injector = fault_spec.instantiate() if fault_spec is not None else None
+        reliability = fault_spec.reliability if fault_spec is not None else None
+
         self.routers: Dict[Coord, Router] = {
             coord: Router(coord, config, weight_table) for coord in self.topology.nodes()
         }
         self.nics: Dict[Coord, NIC] = {
-            coord: NIC(coord, config) for coord in self.topology.nodes()
+            coord: NIC(coord, config, reliability=reliability)
+            for coord in self.topology.nodes()
         }
 
         self.cycle = 0
@@ -203,6 +214,8 @@ class Network:
         traffic *can* genuinely deadlock -- bound the offered load (e.g.
         bounded outstanding request/reply traffic) when simulating those.
         """
+        if self.fault_injector is not None:
+            self.fault_injector.spec.reliability.validate_drain_budget(max_cycles)
         return self.backend.run_until_idle(self, max_cycles=max_cycles)
 
     # ------------------------------------------------------------------
@@ -222,6 +235,13 @@ class Network:
         for nic in self._busy_nics:
             if nic.ready_to_inject():
                 return now
+            # A NIC waiting only on ACKs acts again at its retransmit timer.
+            timer = nic.next_timer_cycle()
+            if timer is not None:
+                if timer <= now:
+                    return now
+                if best is None or timer < best:
+                    best = timer
         for router in self._busy_routers:
             ready = router.next_ready_cycle()
             if ready is None:
@@ -252,6 +272,7 @@ class Network:
     # ------------------------------------------------------------------
     def _apply_events(self, events: Iterable[tuple], now: int) -> None:
         timing = self.config.timing
+        injector = self.fault_injector
         for event in events:
             tag = event[0]
             if tag == "forward":
@@ -261,6 +282,12 @@ class Network:
                     raise RuntimeError(
                         f"flit forwarded off the topology at {router.coord} {out_port}"
                     )
+                if injector is not None:
+                    # Faults strike on router-to-router link traversals (the
+                    # local NIC-router connection is reliable on-die wiring).
+                    # Both backends funnel forwards through this one apply
+                    # path, so fault decisions are backend-independent.
+                    injector.transmit(router.coord, out_port, flit)
                 delay = timing.link_latency + (
                     timing.routing_latency if flit.is_head else timing.flit_cycle
                 )
@@ -300,6 +327,20 @@ class Network:
 
     def total_ejected_flits(self) -> int:
         return sum(n.ejected_flits for n in self.nics.values())
+
+    def total_retransmissions(self) -> int:
+        """Retransmission attempts launched by all NICs (0 without faults)."""
+        return sum(n.retransmissions for n in self.nics.values())
+
+    def total_pending_acks(self) -> int:
+        """Sent messages across all NICs still waiting for an ACK."""
+        return sum(n.pending_acks() for n in self.nics.values())
+
+    def fault_counts(self) -> Dict[str, int]:
+        """The fault injector's counters (all zero on a reliable network)."""
+        if self.fault_injector is None:
+            return {"transmitted": 0, "corrupted": 0, "lost": 0}
+        return self.fault_injector.fault_counts()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Network({self.config.describe()}, cycle={self.cycle})"

@@ -115,12 +115,45 @@ def make_backend(spec: Union[str, SimulationBackend, None]) -> SimulationBackend
     return instance
 
 
+def _reliability_note(network) -> str:
+    """In-flight retransmit state of ``network``'s NICs, for stall errors.
+
+    Empty on a fault-free network (or when no NIC is waiting on an ACK);
+    otherwise lists, per NIC, the pending-ACK count, the highest transmission
+    attempt reached and the next retransmit deadline -- so a stall under
+    faults shows immediately whether the drain loop was cut short while the
+    HARQ protocol was still legitimately retrying.
+    """
+    states: List[Tuple[int, str]] = []
+    for coord, nic in network.nics.items():
+        state = nic.reliability_state()
+        if state is None:
+            continue
+        states.append(
+            (
+                state["pending_acks"],
+                f"{coord}: {state['pending_acks']} pending ACK(s), "
+                f"attempt <= {state['max_attempt']}, "
+                f"next retransmit at cycle {state['next_deadline']}",
+            )
+        )
+    if not states:
+        return ""
+    states.sort(key=lambda item: (-item[0], item[1]))
+    listed = "; ".join(text for _, text in states[:8])
+    if len(states) > 8:
+        listed += f"; ... ({len(states) - 8} more NICs)"
+    total = sum(count for count, _ in states)
+    return f"; retransmit state: {total} message(s) awaiting ACK [{listed}]"
+
+
 def network_stall_error(network, max_cycles: int) -> SimulationStallError:
     """Build the descriptive drain-timeout error for ``network``.
 
     Reports the total buffered/queued flit count and the occupancy of the
     busiest nodes so deadlocks (e.g. adversarial traffic on a wrapped
-    topology) are diagnosable without re-running under a debugger.
+    topology) are diagnosable without re-running under a debugger.  Under a
+    fault model the in-flight HARQ retransmit state is appended.
     """
     occupancy: List[Tuple[int, str]] = []
     total_buffered = 0
@@ -141,6 +174,7 @@ def network_stall_error(network, max_cycles: int) -> SimulationStallError:
         f"{total_buffered} flit(s) buffered in routers, "
         f"{total_queued} flit(s) queued for injection across "
         f"{len(occupancy)} node(s) [{busiest}]"
+        f"{_reliability_note(network)}"
     )
 
 
@@ -157,4 +191,5 @@ def system_stall_error(system, max_cycles: int) -> SimulationStallError:
         f"{len(unfinished)} core(s) unfinished [{listed or 'none'}], "
         f"{buffered} flit(s) still buffered in the network, "
         f"{pending} reply(ies) pending at the memory controller"
+        f"{_reliability_note(system.network)}"
     )

@@ -19,7 +19,7 @@ from repro.api import (
 
 ALL_EXPERIMENTS = {
     "table1", "table2", "table3", "fig2a", "fig2b",
-    "avgperf", "area", "ablation", "validation",
+    "avgperf", "area", "ablation", "validation", "reliability_sweep",
 }
 
 #: Small-but-representative parameters so the full-suite round trip is fast.
@@ -36,11 +36,15 @@ FAST_PARAMS = {
     "ablation": {"mesh_size": 3},
     "validation": {"mesh_sizes": (3,), "congestion_cycles": 300},
     "table2": {"sizes": (2, 3)},
+    "reliability_sweep": {
+        "mesh_size": 3, "fault_rates": (0.0, 0.01), "trials": 2,
+        "scale": 0.004, "background": 2,
+    },
 }
 
 
 class TestDiscovery:
-    def test_all_nine_experiments_registered(self):
+    def test_all_ten_experiments_registered(self):
         assert {spec.name for spec in list_experiments()} == ALL_EXPERIMENTS
 
     def test_specs_carry_metadata(self):

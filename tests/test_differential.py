@@ -206,6 +206,119 @@ def test_network_random_traffic_bit_identical():
 
 
 # ----------------------------------------------------------------------
+# Fault injection: null models are invisible, faulty runs are
+# backend-identical
+# ----------------------------------------------------------------------
+ZERO_RATE_MODEL = {"kind": "independent", "corrupt_rate": 0.0, "loss_rate": 0.0}
+
+
+@pytest.mark.parametrize("topology,routing,design,max_packet,workload", NETWORK_GRID)
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_zero_rate_fault_model_bit_identical_to_no_model(
+    topology, routing, design, max_packet, workload, backend
+):
+    """A fault model whose rates are all zero must not change a single bit.
+
+    The whole reliability machinery (injector, HARQ state, sequence
+    numbers, control traffic) must stay structurally disabled, so the
+    zero-rate run reproduces the no-fault-model run exactly -- latencies,
+    flit counts and makespans -- on both backends across the grid.
+    """
+    scenario = _scenario(topology, routing, design, max_packet).backend(backend)
+    snapshots = {}
+    for label, sc in (("plain", scenario), ("zero", scenario.fault_model(ZERO_RATE_MODEL))):
+        network = Network(sc.build())
+        WORKLOADS[workload](network)
+        network.run_until_idle(max_cycles=300_000)
+        snapshots[label] = network_snapshot(network)
+    assert snapshots["zero"] == snapshots["plain"]
+
+
+FAULTY_MODELS = [
+    pytest.param(
+        {"kind": "independent", "corrupt_rate": 0.01, "loss_rate": 0.005,
+         "seed": 11, "ack_timeout": 128},
+        id="independent",
+    ),
+    pytest.param(
+        {"kind": "gilbert", "bad_corrupt_rate": 0.05, "bad_loss_rate": 0.05,
+         "good_to_bad": 0.01, "bad_to_good": 0.1, "seed": 11, "ack_timeout": 128},
+        id="gilbert",
+    ),
+]
+
+
+def _faulty_network_snapshot(network: Network) -> dict:
+    snapshot = network_snapshot(network)
+    snapshot["retransmissions"] = network.total_retransmissions()
+    snapshot["fault_counts"] = network.fault_counts()
+    snapshot["control_messages"] = sum(
+        nic.control_messages_sent for nic in network.nics.values()
+    )
+    return snapshot
+
+
+@pytest.mark.parametrize("model", FAULTY_MODELS)
+def test_faulty_network_backends_bit_identical(model):
+    """Under real faults + HARQ recovery the backends must still agree."""
+    snapshots = {}
+    for backend in BACKENDS:
+        network = Network(
+            Scenario.mesh(4).waw_wap().fault_model(model).backend(backend).build()
+        )
+        mirrored_pairs(network)
+        hotspot_burst(network)
+        network.run_until_idle(max_cycles=300_000)
+        snapshots[backend] = _faulty_network_snapshot(network)
+    assert snapshots["event"] == snapshots["cycle"]
+    assert snapshots["cycle"]["completed"] == snapshots["cycle"]["sent"]
+
+
+def test_faulty_system_backends_bit_identical():
+    """Manycore run under faults: cores + MC + HARQ agree across backends."""
+    snapshots = {}
+    for backend in BACKENDS:
+        config = (
+            Scenario.mesh(3)
+            .waw_wap()
+            .fault_model("independent", corrupt_rate=0.005, loss_rate=0.005,
+                         seed=5, ack_timeout=128)
+            .backend(backend)
+            .build()
+        )
+        system = ManycoreSystem(config)
+        suite = autobench_suite()
+        nodes = [c for c in config.mesh.nodes() if c != config.memory_controller]
+        for index, node in enumerate(nodes):
+            system.add_profile_core(node, suite[index % len(suite)].scaled(0.002))
+        cycles = system.run_to_completion(max_cycles=2_000_000)
+        snapshot = system_snapshot(system, cycles)
+        snapshot["network"]["retransmissions"] = system.network.total_retransmissions()
+        snapshot["network"]["fault_counts"] = system.network.fault_counts()
+        snapshots[backend] = snapshot
+    assert snapshots["event"] == snapshots["cycle"]
+
+
+def test_zero_rate_fault_model_system_bit_identical_to_no_model():
+    """System-level zero-rate check on top of the network-level grid."""
+    plain = _run_multiprogrammed("waw_wap", "event")
+    config = (
+        Scenario.mesh(3)
+        .waw_wap()
+        .fault_model(ZERO_RATE_MODEL)
+        .backend("event")
+        .build()
+    )
+    system = ManycoreSystem(config)
+    suite = autobench_suite()
+    nodes = [c for c in config.mesh.nodes() if c != config.memory_controller]
+    for index, node in enumerate(nodes):
+        system.add_profile_core(node, suite[index % len(suite)].scaled(0.002))
+    cycles = system.run_to_completion(max_cycles=2_000_000)
+    assert system_snapshot(system, cycles) == plain
+
+
+# ----------------------------------------------------------------------
 # System-level scenarios: cores + caches + memory controller on the NoC
 # ----------------------------------------------------------------------
 def _run_multiprogrammed(design: str, backend: str) -> dict:

@@ -212,7 +212,7 @@ class TestRunner:
     def test_experiment_registry_is_complete(self):
         assert set(EXPERIMENTS) == {
             "table1", "table2", "table3", "fig2a", "fig2b",
-            "avgperf", "area", "ablation", "validation",
+            "avgperf", "area", "ablation", "validation", "reliability_sweep",
         }
         for name, spec in EXPERIMENTS.items():
             assert spec["description"]
