@@ -25,7 +25,11 @@ The package is organised in seven layers:
 * :mod:`repro.api` -- the public surface: the fluent :class:`Scenario`
   builder and :func:`sweep` grid expansion, the uniform
   :class:`ExperimentResult` return type, the decorator-based experiment
-  registry and the cache-aware parallel :class:`BatchEngine`.
+  registry and the cache-aware parallel :class:`BatchEngine`;
+* :mod:`repro.service` -- analysis as a service: a persistent daemon
+  (``repro-experiments serve``) with an async job queue, request
+  coalescing/dedup and the durable content-addressed :class:`ResultStore`
+  shared with the batch engine.
 
 Quick start::
 
@@ -105,7 +109,26 @@ from .faults import (
     make_fault_model,
 )
 
-__version__ = "1.3.0"
+from .service import ResultStore, StoreError, default_store_dir
+
+__version__ = "1.4.0"
+
+#: Service entry points resolved lazily (they pull in asyncio machinery
+#: that most library users never touch).
+_LAZY_SERVICE = ("ReproService", "ServiceClient", "ServiceError", "start_service_thread")
+
+
+def __getattr__(name):
+    if name in _LAZY_SERVICE:
+        from . import service
+
+        return getattr(service, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(list(globals()) + list(_LAZY_SERVICE))
+
 
 __all__ = [
     "Coord",
@@ -167,5 +190,12 @@ __all__ = [
     "get_experiment",
     "list_experiments",
     "sweep",
+    "ResultStore",
+    "StoreError",
+    "default_store_dir",
+    "ReproService",
+    "ServiceClient",
+    "ServiceError",
+    "start_service_thread",
     "__version__",
 ]

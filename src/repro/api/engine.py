@@ -11,6 +11,11 @@ Cache misses fan out over a :mod:`multiprocessing` pool when ``jobs > 1``;
 results travel back as pickled :class:`ExperimentResult` objects, so the
 caller can still render the full textual reports for freshly computed jobs.
 Disk cache hits are rebuilt from their JSON form (rows only).
+
+The persistent layer is the durable content-addressed
+:class:`~repro.service.store.ResultStore` shared with the analysis daemon
+(:mod:`repro.service`): pass ``store=ResultStore(...)`` to share one, or
+keep passing ``cache_dir=...`` to get a store over that directory.
 """
 
 from __future__ import annotations
@@ -19,13 +24,16 @@ import csv
 import hashlib
 import io
 import json
-import os
 import time
 from dataclasses import dataclass, field, fields, is_dataclass
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from . import registry
 from .results import ExperimentResult, ResultEncoder, _plain
+
+# Imported after .results on purpose: repro.service.store builds on
+# repro.api.results, so the submodule must already be in sys.modules.
+from ..service.store import ResultStore
 
 __all__ = ["BatchJob", "BatchResult", "BatchEngine", "config_hash", "map_jobs"]
 
@@ -142,7 +150,9 @@ class BatchEngine:
     """Cache-aware, optionally parallel runner for registered experiments.
 
     ``jobs`` is the worker-process count (1 = run in-process); ``cache_dir``
-    enables the persistent JSON cache; ``use_cache=False`` disables caching
+    enables the persistent cache (a :class:`ResultStore` over that
+    directory) and ``store`` shares an existing store -- e.g. the daemon's
+    ``~/.cache/repro`` -- instead; ``use_cache=False`` disables caching
     entirely (every job recomputes).
     """
 
@@ -152,15 +162,19 @@ class BatchEngine:
         jobs: int = 1,
         cache_dir: Optional[str] = None,
         use_cache: bool = True,
+        store: Optional["ResultStore"] = None,
     ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
+        if store is not None and cache_dir is not None:
+            raise ValueError("pass either store= or cache_dir=, not both")
         self.jobs = jobs
-        self.cache_dir = cache_dir
+        if store is None and cache_dir is not None:
+            store = ResultStore(cache_dir)
+        self.store = store
+        self.cache_dir = store.root if store is not None else None
         self.use_cache = use_cache
         self._memory_cache: Dict[str, ExperimentResult] = {}
-        if cache_dir is not None:
-            os.makedirs(cache_dir, exist_ok=True)
 
     # ------------------------------------------------------------------
     # Execution
@@ -197,7 +211,7 @@ class BatchEngine:
         computed = self._compute([job for _, job in unique_jobs])
         for (digest, job), (result, duration) in zip(unique_jobs, computed):
             if self.use_cache:
-                self._cache_store(digest, result)
+                self._cache_store(digest, result, duration)
             for position, index in enumerate(pending[digest]):
                 results[index] = BatchResult(
                     job=jobs[index],
@@ -278,15 +292,12 @@ class BatchEngine:
     # Cache plumbing
     # ------------------------------------------------------------------
     def cached_results(self) -> List[BatchResult]:
-        """Everything currently in the persistent cache (for ``export``)."""
-        if self.cache_dir is None:
+        """Everything currently in the persistent store (for ``export``)."""
+        if self.store is None:
             return []
         results: List[BatchResult] = []
-        for name in sorted(os.listdir(self.cache_dir)):
-            if not name.endswith(".json"):
-                continue
-            digest = name[: -len(".json")]
-            result = self._disk_lookup(digest)
+        for digest in self.store.keys():
+            result = self.store.get(digest)
             if result is None:
                 continue
             results.append(
@@ -304,30 +315,16 @@ class BatchEngine:
         hit = self._memory_cache.get(digest)
         if hit is not None:
             return hit
-        return self._disk_lookup(digest)
+        if self.store is None:
+            return None
+        return self.store.get(digest)
 
-    def _disk_lookup(self, digest: str) -> Optional[ExperimentResult]:
-        if self.cache_dir is None:
-            return None
-        path = os.path.join(self.cache_dir, f"{digest}.json")
-        if not os.path.exists(path):
-            return None
-        try:
-            with open(path, "r", encoding="utf-8") as handle:
-                data = json.load(handle)
-        except (OSError, ValueError):
-            return None
-        return ExperimentResult.from_dict(data)
-
-    def _cache_store(self, digest: str, result: ExperimentResult) -> None:
+    def _cache_store(
+        self, digest: str, result: ExperimentResult, duration: float = 0.0
+    ) -> None:
         self._memory_cache[digest] = result
-        if self.cache_dir is None:
-            return
-        path = os.path.join(self.cache_dir, f"{digest}.json")
-        tmp_path = f"{path}.tmp.{os.getpid()}"
-        with open(tmp_path, "w", encoding="utf-8") as handle:
-            handle.write(result.to_json())
-        os.replace(tmp_path, path)
+        if self.store is not None:
+            self.store.put(digest, result, duration_seconds=duration)
 
     def _compute(self, jobs: List[BatchJob]) -> List[Tuple[ExperimentResult, float]]:
         return map_jobs(_execute_job, jobs, jobs=self.jobs)

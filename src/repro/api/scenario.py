@@ -32,6 +32,7 @@ yielding the cartesian product in deterministic (row-major) order.
 from __future__ import annotations
 
 import itertools
+from dataclasses import fields
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
 
 from ..core.config import (
@@ -270,6 +271,140 @@ class Scenario:
         if "fault_model" in s:
             parts.append(s["fault_model"].label_token())
         return "-".join(parts)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe form of the scenario, inverse of :meth:`from_dict`.
+
+        This is how a design point travels to the analysis daemon: the dict
+        round-trips losslessly (``Scenario.from_dict(sc.to_dict()) == sc``
+        modulo revalidation) and hashes deterministically, so it doubles as
+        the scenario's wire format and cache identity.
+        """
+        s = self._settings
+        data: Dict[str, Any] = {}
+        for key in (
+            "mesh_width",
+            "mesh_height",
+            "design",
+            "topology",
+            "routing",
+            "concentration",
+            "backend",
+            "max_packet_flits",
+            "min_packet_flits",
+            "buffer_depth",
+        ):
+            if key in s:
+                data[key] = s[key]
+        if "memory_controller" in s:
+            mc = s["memory_controller"]
+            data["memory_controller"] = [mc.x, mc.y]
+        if "timing" in s:
+            timing: RouterTiming = s["timing"]
+            data["timing"] = {
+                f.name: getattr(timing, f.name) for f in fields(RouterTiming)
+            }
+        if "messages" in s:
+            messages: MessageConfig = s["messages"]
+            data["messages"] = {
+                f.name: getattr(messages, f.name) for f in fields(MessageConfig)
+            }
+        if "fault_model" in s:
+            model: FaultModel = s["fault_model"]
+            spec: Dict[str, Any] = {"kind": model.kind}
+            for f in fields(model):
+                value = getattr(model, f.name)
+                if f.name == "reliability":
+                    # ReliabilityConfig flattens to its scalar knobs, which
+                    # make_fault_model accepts back in flat form.
+                    spec.update({rf.name: getattr(value, rf.name) for rf in fields(value)})
+                else:
+                    spec[f.name] = value
+            data["fault_model"] = spec
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Scenario":
+        """Rebuild a scenario from :meth:`to_dict` output, revalidating.
+
+        Every field passes back through the fluent setters, so a corrupted
+        or hand-written dict fails with the same :class:`ScenarioError` a
+        bad builder chain would raise.  Unknown keys are rejected.
+        """
+        if not isinstance(data, Mapping):
+            raise ScenarioError(
+                f"a scenario dict must be a mapping, got {type(data).__name__}"
+            )
+        remaining = dict(data)
+        if "mesh_width" not in remaining:
+            raise ScenarioError("a scenario dict needs at least 'mesh_width'")
+        scenario = cls.mesh(
+            remaining.pop("mesh_width"), remaining.pop("mesh_height", None)
+        )
+        if "design" in remaining:
+            scenario = scenario.design(remaining.pop("design"))
+        if any(key in remaining for key in ("topology", "routing", "concentration")):
+            scenario = scenario.topology(
+                remaining.pop("topology", "mesh"),
+                routing=remaining.pop("routing", "xy"),
+                concentration=remaining.pop("concentration", None),
+            )
+        if "backend" in remaining:
+            scenario = scenario.backend(remaining.pop("backend"))
+        for key in ("max_packet_flits", "min_packet_flits", "buffer_depth"):
+            if key in remaining:
+                scenario = getattr(scenario, key)(remaining.pop(key))
+        if "memory_controller" in remaining:
+            coordinates = remaining.pop("memory_controller")
+            try:
+                x, y = coordinates
+            except (TypeError, ValueError):
+                raise ScenarioError(
+                    f"memory_controller must be an [x, y] pair, got {coordinates!r}"
+                ) from None
+            scenario = scenario.memory_controller(x, y)
+        if "timing" in remaining:
+            timing = remaining.pop("timing")
+            if not isinstance(timing, Mapping):
+                raise ScenarioError(f"timing must be a mapping, got {timing!r}")
+            known = {f.name for f in fields(RouterTiming)}
+            unknown = set(timing) - known
+            if unknown:
+                raise ScenarioError(f"unknown timing field(s): {', '.join(sorted(unknown))}")
+            scenario = scenario.timing(**dict(timing))
+        if "messages" in remaining:
+            messages = remaining.pop("messages")
+            if not isinstance(messages, Mapping):
+                raise ScenarioError(f"messages must be a mapping, got {messages!r}")
+            try:
+                scenario = scenario.messages(MessageConfig(**dict(messages)))
+            except (TypeError, ValueError) as exc:
+                raise ScenarioError(f"invalid messages: {exc}") from None
+        if "fault_model" in remaining:
+            scenario = scenario.fault_model(remaining.pop("fault_model"))
+        if remaining:
+            raise ScenarioError(
+                f"unknown scenario field(s): {', '.join(sorted(remaining))}"
+            )
+        return scenario
+
+    def as_job(self, experiment: str = "scenario_wctt", *, quick: bool = False, **params: Any):
+        """This design point as a :class:`~repro.api.BatchJob` submission.
+
+        The scenario travels as the ``scenario`` run() parameter of
+        ``experiment`` (default: the registered ``scenario_wctt``
+        design-point evaluation), so a ``sweep()`` grid can be handed to
+        the :class:`~repro.api.BatchEngine` or submitted to a running
+        analysis daemon (:meth:`repro.service.ServiceClient.submit_scenarios`).
+        Extra keyword arguments become additional run() parameters.
+        """
+        from .engine import BatchJob
+
+        return BatchJob(
+            experiment=experiment,
+            params={"scenario": self.to_dict(), **params},
+            quick=quick,
+        )
 
     def build(self) -> NoCConfig:
         """Produce the validated :class:`NoCConfig` for this scenario."""

@@ -13,6 +13,7 @@ Module                    Paper artefact
 ``ablation_mechanisms``   (extension) WaP-only / WaW-only decomposition
 ``bound_validation``      (extension) analytical bounds vs simulation
 ``reliability_sweep``     (extension) Monte-Carlo latency under link faults
+``scenario_wctt``         (extension) WCTT summary of one arbitrary Scenario
 ``runner``                command-line front-end (``repro-experiments``)
 ========================  =====================================================
 """
@@ -25,6 +26,7 @@ from . import (
     fig2a_packet_size,
     fig2b_placement,
     reliability_sweep,
+    scenario_wctt,
     table1_weights,
     table2_wctt,
     table3_eembc,
@@ -38,6 +40,7 @@ __all__ = [
     "fig2a_packet_size",
     "fig2b_placement",
     "reliability_sweep",
+    "scenario_wctt",
     "table1_weights",
     "table2_wctt",
     "table3_eembc",

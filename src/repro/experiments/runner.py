@@ -10,6 +10,15 @@ engine.  Subcommands::
     repro-experiments sweep --sizes 2,3,4 [--experiment table2] [--jobs N]
     repro-experiments export --cache-dir DIR [--json F] [--csv F] [NAMES...]
 
+plus the analysis-service surface (:mod:`repro.service`)::
+
+    repro-experiments serve [--port P] [--jobs N] [--store-dir DIR]
+    repro-experiments submit [NAMES... | --experiment NAME --sizes 2,3]
+                             [--quick] [--no-wait] [--json F] [--csv F]
+    repro-experiments status HASH [HASH...]
+    repro-experiments fetch [HASH...] [--json F] [--csv F]
+    repro-experiments cache stats|clear [--store-dir DIR]
+
 ``--backend`` selects the simulation backend (``cycle`` or ``event``) for
 the experiments that drive the cycle-accurate simulator; both backends
 produce identical results, ``event`` skips idle cycles and is much faster.
@@ -22,14 +31,17 @@ table2 fig2a``, ``repro-experiments --list`` and ``repro-experiments
 from __future__ import annotations
 
 import argparse
+import itertools
+import json
 import sys
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
-from ..analysis.reporting import format_table
+from ..analysis.reporting import format_key_values, format_table
 from ..api import (
     BatchEngine,
     BatchJob,
     BatchResult,
+    ExperimentResult,
     UnknownExperimentError,
     get_experiment,
     list_experiments,
@@ -38,7 +50,9 @@ from ..sim import available_backends, normalize_backend_name
 
 __all__ = ["EXPERIMENTS", "main", "run_experiment"]
 
-_SUBCOMMANDS = ("run", "list", "sweep", "export")
+_SUBCOMMANDS = (
+    "run", "list", "sweep", "export", "serve", "submit", "status", "fetch", "cache"
+)
 
 
 def _build_legacy_experiments() -> Dict[str, Dict[str, Any]]:
@@ -159,6 +173,28 @@ def _add_export_options(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_service_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--host", default=None, metavar="HOST",
+        help="daemon address (default: 127.0.0.1)",
+    )
+    parser.add_argument(
+        "--port", type=int, default=None, metavar="PORT",
+        help="daemon port (default: 8537)",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=300.0, metavar="SECONDS",
+        help="per-request timeout (default: 300)",
+    )
+
+
+def _add_store_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--store-dir", default=None, metavar="DIR",
+        help="durable result store directory (default: ~/.cache/repro)",
+    )
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
@@ -232,6 +268,108 @@ def _build_parser() -> argparse.ArgumentParser:
         help="cache directory written by 'run'/'sweep' --cache-dir",
     )
     _add_export_options(export_parser)
+
+    serve_parser = subparsers.add_parser(
+        "serve", help="run the persistent analysis daemon (repro.service)"
+    )
+    serve_parser.add_argument(
+        "--host", default=None, metavar="HOST",
+        help="address to bind (default: 127.0.0.1)",
+    )
+    serve_parser.add_argument(
+        "--port", type=int, default=None, metavar="PORT",
+        help="port to bind (default: 8537; 0 binds an ephemeral port)",
+    )
+    serve_parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes computing submitted jobs (default: 1)",
+    )
+    serve_parser.add_argument(
+        "--batch-size", type=int, default=8, metavar="N",
+        help="queued jobs fanned onto the worker pool at once (default: 8)",
+    )
+    _add_store_option(serve_parser)
+    serve_parser.add_argument(
+        "--no-store", action="store_true",
+        help="serve fully in-memory (results die with the daemon)",
+    )
+
+    submit_parser = subparsers.add_parser(
+        "submit", help="submit experiments or a sweep to a running daemon"
+    )
+    submit_parser.add_argument(
+        "experiments", nargs="*", metavar="NAME",
+        help="experiments to submit (or use --experiment with sweep axes)",
+    )
+    submit_parser.add_argument(
+        "--experiment", default=None, metavar="NAME",
+        help="experiment to sweep when axis options are given (default: table2)",
+    )
+    submit_parser.add_argument(
+        "--sizes", type=_csv_ints, default=None, metavar="N,N,...",
+        help="mesh sizes to sweep, e.g. 2,3,4",
+    )
+    submit_parser.add_argument(
+        "--packet-flits", type=_csv_ints, default=None, metavar="N,N,...",
+        help="maximum packet sizes to sweep, e.g. 1,4,8",
+    )
+    submit_parser.add_argument(
+        "--fault-rates", type=_csv_floats, default=None, metavar="R,R,...",
+        help="per-link fault rates to sweep (reliability_sweep)",
+    )
+    submit_parser.add_argument(
+        "--trials", type=int, default=None, metavar="N",
+        help="Monte-Carlo trials per design point (reliability_sweep)",
+    )
+    submit_parser.add_argument(
+        "--quick", action="store_true",
+        help="apply each experiment's quick parameters",
+    )
+    submit_parser.add_argument(
+        "--no-wait", action="store_true",
+        help="return tickets immediately instead of waiting for results",
+    )
+    _add_backend_option(submit_parser)
+    _add_service_options(submit_parser)
+    _add_export_options(submit_parser)
+
+    status_parser = subparsers.add_parser(
+        "status", help="query job states on a running daemon"
+    )
+    status_parser.add_argument(
+        "hashes", nargs="+", metavar="HASH",
+        help="config hashes from submission tickets",
+    )
+    status_parser.add_argument(
+        "--json", action="store_true", help="machine-readable states"
+    )
+    _add_service_options(status_parser)
+
+    fetch_parser = subparsers.add_parser(
+        "fetch", help="fetch completed results from a running daemon"
+    )
+    fetch_parser.add_argument(
+        "hashes", nargs="*", metavar="HASH",
+        help="config hashes to fetch (default: everything the daemon has)",
+    )
+    _add_service_options(fetch_parser)
+    _add_export_options(fetch_parser)
+
+    cache_parser = subparsers.add_parser(
+        "cache", help="inspect or clear the durable result store"
+    )
+    cache_parser.add_argument(
+        "action", choices=("stats", "clear"),
+        help="'stats' summarises the store, 'clear' deletes entries",
+    )
+    _add_store_option(cache_parser)
+    cache_parser.add_argument(
+        "--experiment", default=None, metavar="NAME",
+        help="restrict 'clear' to one experiment's entries",
+    )
+    cache_parser.add_argument(
+        "--json", action="store_true", help="machine-readable stats"
+    )
 
     return parser
 
@@ -421,6 +559,292 @@ def _cmd_export(args: argparse.Namespace) -> int:
     return 0
 
 
+# ----------------------------------------------------------------------
+# Service subcommands (repro.service)
+# ----------------------------------------------------------------------
+def _make_client(args: argparse.Namespace):
+    from ..service import DEFAULT_HOST, DEFAULT_PORT, ServiceClient
+
+    return ServiceClient(
+        host=args.host or DEFAULT_HOST,
+        port=DEFAULT_PORT if args.port is None else args.port,
+        timeout=args.timeout,
+    )
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from ..service import DEFAULT_HOST, DEFAULT_PORT, ReproService
+
+    try:
+        service = ReproService(
+            host=args.host or DEFAULT_HOST,
+            port=DEFAULT_PORT if args.port is None else args.port,
+            jobs=args.jobs,
+            batch_size=args.batch_size,
+            store_dir=args.store_dir,
+            use_store=not args.no_store,
+        )
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+
+    def _announce(svc) -> None:
+        host, port = svc.address
+        print(f"repro.service listening on {host}:{port}", flush=True)
+        if svc.store is not None:
+            print(f"durable result store: {svc.store.root}", flush=True)
+
+    try:
+        service.run(announce=_announce)
+    except KeyboardInterrupt:
+        pass
+    except OSError as error:
+        print(f"cannot start repro.service: {error}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _build_submit_jobs(args: argparse.Namespace) -> Optional[List[BatchJob]]:
+    """The jobs of one ``submit`` invocation (names or a sweep grid)."""
+    axes: Dict[str, List[Any]] = {}
+    if args.sizes:
+        axes["size"] = args.sizes
+    if args.packet_flits:
+        axes["packet_flits"] = args.packet_flits
+    if args.fault_rates:
+        axes["fault_rate"] = args.fault_rates
+    if args.trials is not None:
+        axes["trials"] = [args.trials]
+    if axes:
+        if args.experiments:
+            print(
+                "submit takes either experiment NAMEs or sweep axes, not both",
+                file=sys.stderr,
+            )
+            return None
+        name = args.experiment or "table2"
+        try:
+            spec = get_experiment(name)
+        except UnknownExperimentError as error:
+            print(str(error), file=sys.stderr)
+            return None
+        base = _backend_params(name, args.backend)
+        names = list(axes)
+        jobs: List[BatchJob] = []
+        try:
+            for combo in itertools.product(*(axes[n] for n in names)):
+                params = dict(base)
+                params.update(spec.params_for_axes(**dict(zip(names, combo))))
+                jobs.append(BatchJob(experiment=name, params=params, quick=args.quick))
+        except ValueError as error:
+            print(str(error), file=sys.stderr)
+            return None
+        return jobs
+    if args.experiment is not None:
+        print(
+            "--experiment needs at least one sweep axis "
+            "(--sizes, --packet-flits, --fault-rates and/or --trials)",
+            file=sys.stderr,
+        )
+        return None
+    resolved = _resolve_names(args.experiments)
+    if resolved is None:
+        return None
+    return [
+        BatchJob(experiment=name, params=_backend_params(name, args.backend), quick=args.quick)
+        for name in resolved
+    ]
+
+
+def _wire_batch_results(
+    jobs: Sequence[BatchJob],
+    tickets: Sequence[Dict[str, Any]],
+    result_dicts: Sequence[Optional[Dict[str, Any]]],
+) -> List[BatchResult]:
+    """Rebuild BatchResults from a submit response (for _write_exports)."""
+    results: List[BatchResult] = []
+    for job, ticket, data in zip(jobs, tickets, result_dicts):
+        if data is None:
+            continue
+        results.append(
+            BatchResult(
+                job=job,
+                result=ExperimentResult.from_dict(data),
+                config_hash=data.get("config_hash", ticket["hash"]),
+                cached=bool(data.get("cached", False)),
+                duration_seconds=float(data.get("duration_seconds", 0.0)),
+            )
+        )
+    return results
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from ..service import ServiceError
+
+    jobs = _build_submit_jobs(args)
+    if jobs is None:
+        return 2
+    client = _make_client(args)
+
+    def _progress(event: Dict[str, Any]) -> None:
+        print(
+            f"[{event['completed']}/{event['total']}] "
+            f"{event['hash']} {event['state']}",
+            file=sys.stderr,
+        )
+
+    try:
+        response = client.submit(
+            jobs,
+            wait=not args.no_wait,
+            on_progress=None if args.no_wait else _progress,
+        )
+    except ServiceError as error:
+        print(str(error), file=sys.stderr)
+        return 1
+    tickets = response["tickets"]
+    if args.no_wait:
+        print(
+            format_table(
+                [
+                    {
+                        "hash": t["hash"],
+                        "experiment": t["experiment"],
+                        "state": t["state"],
+                        "source": t["source"],
+                    }
+                    for t in tickets
+                ]
+            )
+        )
+        print(
+            "poll with 'repro-experiments status HASH...' and collect with "
+            "'repro-experiments fetch'",
+            file=sys.stderr,
+        )
+        return 0
+    failed = [t for t in tickets if t["state"] == "failed"]
+    for ticket in failed:
+        print(
+            f"{ticket['experiment']} [{ticket['hash']}] failed: "
+            f"{ticket.get('error', 'unknown error')}",
+            file=sys.stderr,
+        )
+    results = _wire_batch_results(jobs, tickets, response["results"])
+    if not _exports_use_stdout(args):
+        print(
+            format_table(
+                [
+                    {
+                        "experiment": result.job.experiment,
+                        "params": ", ".join(
+                            f"{k}={v}" for k, v in sorted(result.job.params.items())
+                        ),
+                        "config hash": result.config_hash,
+                        "cached": result.cached,
+                        "rows": len(result.result.rows()),
+                        "seconds": round(result.duration_seconds, 2),
+                    }
+                    for result in results
+                ]
+            )
+        )
+    _write_exports(results, args)
+    return 1 if failed else 0
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    from ..service import ServiceError
+
+    client = _make_client(args)
+    try:
+        states = client.status(args.hashes)
+    except ServiceError as error:
+        print(str(error), file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(states, indent=2))
+    else:
+        print(
+            format_table(
+                [
+                    {
+                        "hash": state["hash"],
+                        "state": state["state"],
+                        "detail": state.get("error") or state.get("source") or "",
+                    }
+                    for state in states
+                ]
+            )
+        )
+    return 0
+
+
+def _cmd_fetch(args: argparse.Namespace) -> int:
+    from ..service import ServiceError
+
+    client = _make_client(args)
+    try:
+        fetched = client.fetch(args.hashes or None, all=not args.hashes)
+    except ServiceError as error:
+        print(str(error), file=sys.stderr)
+        return 1
+    for digest in fetched["missing"]:
+        print(f"missing: {digest}", file=sys.stderr)
+    results = [
+        BatchResult(
+            job=BatchJob(experiment=str(data.get("experiment", ""))),
+            result=ExperimentResult.from_dict(data),
+            config_hash=str(data.get("config_hash", "")),
+            cached=True,
+            duration_seconds=float(data.get("duration_seconds", 0.0)),
+        )
+        for data in fetched["results"]
+    ]
+    if not results:
+        print("no results fetched", file=sys.stderr)
+        return 1 if fetched["missing"] else 0
+    if args.json is None and args.csv is None:
+        args.json = "-"
+    _write_exports(results, args)
+    return 1 if fetched["missing"] else 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from ..service import ResultStore, StoreError
+
+    try:
+        store = ResultStore(args.store_dir)
+    except StoreError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    if args.action == "clear":
+        removed = store.clear(experiment=args.experiment)
+        scope = f" for {args.experiment}" if args.experiment else ""
+        print(f"removed {removed} cached result(s){scope} from {store.root}")
+        return 0
+    stats = store.stats()
+    if args.json:
+        print(json.dumps(stats, indent=2))
+        return 0
+    by_experiment = stats.pop("by_experiment", {})
+    stats.pop("hits", None)
+    stats.pop("misses", None)
+    stats.pop("hit_rate", None)
+    print(format_key_values(stats))
+    if by_experiment:
+        print()
+        print(
+            format_table(
+                [
+                    {"experiment": name, "entries": count}
+                    for name, count in sorted(by_experiment.items())
+                ]
+            )
+        )
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     parser = _build_parser()
@@ -430,6 +854,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         "list": _cmd_list,
         "sweep": _cmd_sweep,
         "export": _cmd_export,
+        "serve": _cmd_serve,
+        "submit": _cmd_submit,
+        "status": _cmd_status,
+        "fetch": _cmd_fetch,
+        "cache": _cmd_cache,
     }
     return handlers[args.command](args)
 

@@ -1,0 +1,130 @@
+"""Experiment E11 -- WCTT bound summary of a single :class:`Scenario`.
+
+The service-era complement to the table experiments: where ``table2`` walks
+a fixed family of design points, this driver evaluates the analytical WCTT
+bound for *one arbitrary scenario* described by its JSON-safe dict form
+(:meth:`Scenario.to_dict`).  That makes any ``sweep()`` grid submittable to
+the batch engine or to a running analysis daemon one design point at a
+time -- each point hashing (and therefore caching and deduplicating)
+independently::
+
+    from repro.api import Scenario, sweep
+    from repro.service import ServiceClient
+
+    grid = sweep(Scenario.mesh(4), design=("regular", "waw_wap"))
+    ServiceClient(port=8537).submit_scenarios(grid)
+
+The evaluation is the paper's all-to-one memory-traffic pattern: every node
+sends to the scenario's memory controller, and the packet WCTT bound of the
+scenario's design (regular or WaW+WaP analysis, chosen by
+:func:`make_wctt_analysis`) is summarised over all flows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Union
+
+from ..analysis.reporting import format_table, format_title
+from ..api.registry import experiment
+from ..api.results import unwrap
+from ..api.scenario import Scenario
+from ..core import FlowSet, make_wctt_analysis, wctt_summary
+
+__all__ = ["ScenarioWCTTPoint", "run", "report"]
+
+
+@dataclass(frozen=True)
+class ScenarioWCTTPoint:
+    """The WCTT bound summary of one evaluated design point."""
+
+    label: str
+    design: str
+    topology: str
+    nodes: int
+    packet_flits: int
+    wctt_max: int
+    wctt_mean: float
+    wctt_min: int
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "scenario": self.label,
+            "design": self.design,
+            "topology": self.topology,
+            "nodes": self.nodes,
+            "packet flits": self.packet_flits,
+            "WCTT max": self.wctt_max,
+            "WCTT mean": self.wctt_mean,
+            "WCTT min": self.wctt_min,
+        }
+
+
+@experiment(
+    "scenario_wctt",
+    description="WCTT bound summary of one arbitrary Scenario design point",
+    paper_reference="Section III (analysis)",
+    sweep_axes={
+        "packet_flits": lambda v: {"packet_flits": v},
+        "scenario": lambda v: {"scenario": v.to_dict() if isinstance(v, Scenario) else v},
+    },
+)
+def run(
+    *,
+    scenario: Optional[Union[Scenario, Mapping[str, Any]]] = None,
+    packet_flits: int = 1,
+) -> List[ScenarioWCTTPoint]:
+    """Evaluate the WCTT bound summary for ``scenario``.
+
+    ``scenario`` is a :class:`Scenario` or its :meth:`Scenario.to_dict`
+    form (the shape a daemon submission travels in); the default is the
+    4x4 WaW+WaP mesh.  ``packet_flits`` is the analysed packet length.
+    """
+    if scenario is None:
+        scenario = Scenario.mesh(4).waw_wap()
+    elif isinstance(scenario, Mapping):
+        scenario = Scenario.from_dict(scenario)
+    elif not isinstance(scenario, Scenario):
+        raise TypeError(
+            f"scenario must be a Scenario or its dict form, got {type(scenario).__name__}"
+        )
+    config = scenario.build()
+    flows = FlowSet.all_to_one(config.mesh, config.memory_controller)
+    analysis = make_wctt_analysis(config)
+    summary = wctt_summary(analysis, flows, packet_flits=packet_flits)
+    return [
+        ScenarioWCTTPoint(
+            label=scenario.label(),
+            design=summary.design,
+            topology=config.topology.short_label(),
+            nodes=config.mesh.num_nodes,
+            packet_flits=packet_flits,
+            wctt_max=summary.maximum,
+            wctt_mean=round(summary.average, 2),
+            wctt_min=summary.minimum,
+        )
+    ]
+
+
+def report(
+    points: Optional[List[ScenarioWCTTPoint]] = None,
+    *,
+    scenario: Optional[Union[Scenario, Mapping[str, Any]]] = None,
+    packet_flits: int = 1,
+) -> str:
+    points = (
+        unwrap(points)
+        if points is not None
+        else unwrap(run(scenario=scenario, packet_flits=packet_flits))
+    )
+    title = format_title("WCTT bound summary (all-to-one memory traffic)")
+    table = format_table([p.as_dict() for p in points])
+    return f"{title}\n{table}"
+
+
+def main() -> None:  # pragma: no cover - thin CLI wrapper
+    print(report())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

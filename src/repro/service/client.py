@@ -1,0 +1,221 @@
+"""Blocking client for the analysis daemon (used by the CLI and by tests).
+
+:class:`ServiceClient` speaks the newline-delimited-JSON protocol over a
+plain TCP socket -- no asyncio required on the calling side, so it drops
+into scripts, notebooks and the ``repro-experiments`` subcommands alike::
+
+    from repro.service import ServiceClient
+
+    client = ServiceClient(port=8537)
+    results = client.submit([{"experiment": "table2", "quick": True}])
+    print(results[0]["rows"][0])
+
+Submissions accept :class:`~repro.api.BatchJob` objects, wire-form dicts or
+:class:`~repro.api.Scenario` objects (converted through
+:meth:`Scenario.as_job`, i.e. evaluated by the ``scenario_wctt``
+experiment); :meth:`ServiceClient.submit_scenarios` submits a whole
+``sweep()`` grid in one round trip, so a scenario design space computes
+server-side with dedup and durable caching.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence
+
+from ..api.engine import BatchJob
+from ..api.results import ExperimentResult
+from .protocol import (
+    DEFAULT_HOST,
+    DEFAULT_PORT,
+    MAX_MESSAGE_BYTES,
+    ProtocolError,
+    decode,
+    encode,
+    job_to_wire,
+)
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+ProgressCallback = Callable[[Dict[str, Any]], None]
+
+
+class ServiceError(RuntimeError):
+    """The daemon was unreachable or answered with an error."""
+
+
+def _as_job(item: Any) -> BatchJob:
+    """Normalise one submission item to a :class:`BatchJob`."""
+    if isinstance(item, BatchJob):
+        return item
+    # A Scenario converts through its registered evaluation experiment.
+    as_job = getattr(item, "as_job", None)
+    if callable(as_job):
+        return as_job()
+    if isinstance(item, Mapping):
+        return BatchJob(
+            experiment=str(item.get("experiment", "")),
+            params=dict(item.get("params", {})),
+            quick=bool(item.get("quick", False)),
+        )
+    raise TypeError(
+        f"cannot submit {type(item).__name__}: expected BatchJob, Scenario "
+        "or a job dict with an 'experiment' key"
+    )
+
+
+class ServiceClient:
+    """One daemon address plus a request timeout (seconds; None = no limit)."""
+
+    def __init__(
+        self,
+        host: str = DEFAULT_HOST,
+        port: int = DEFAULT_PORT,
+        *,
+        timeout: Optional[float] = 300.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+    def ping(self) -> Dict[str, Any]:
+        """Round-trip liveness check; returns the server's identity line."""
+        return self._request({"op": "ping"})
+
+    def stats(self) -> Dict[str, Any]:
+        """Queue depth, cache hit rate, jobs/second, store statistics."""
+        return self._request({"op": "stats"})["stats"]
+
+    def submit(
+        self,
+        jobs: Iterable[Any],
+        *,
+        wait: bool = True,
+        on_progress: Optional[ProgressCallback] = None,
+    ) -> Dict[str, Any]:
+        """Submit design points; returns the server response.
+
+        ``jobs`` may mix :class:`BatchJob` objects, job dicts and
+        :class:`~repro.api.Scenario` objects.  With ``wait=True`` (default)
+        the call blocks until every design point is settled and the
+        response carries ``results`` (one dict per submitted job, in
+        submission order; ``None`` for failed points -- check the matching
+        ticket's ``error``).  With ``wait=False`` it returns immediately
+        with ``tickets`` only; poll with :meth:`status` / :meth:`fetch`.
+        ``on_progress`` receives one event dict per completed design point.
+        """
+        wire_jobs = [job_to_wire(_as_job(job)) for job in jobs]
+        if not wire_jobs:
+            raise ValueError("submit needs at least one job")
+        request: Dict[str, Any] = {"op": "submit", "jobs": wire_jobs, "wait": wait}
+        if wait and on_progress is not None:
+            request["stream"] = True
+        return self._request(request, on_event=on_progress)
+
+    def submit_scenarios(
+        self,
+        scenarios: Iterable[Any],
+        *,
+        experiment: str = "scenario_wctt",
+        quick: bool = False,
+        wait: bool = True,
+        on_progress: Optional[ProgressCallback] = None,
+        **params: Any,
+    ) -> Dict[str, Any]:
+        """Submit a :func:`repro.api.sweep` grid (or any scenario iterable).
+
+        Every scenario becomes one job of ``experiment`` (default: the
+        ``scenario_wctt`` design-point evaluation) via
+        :meth:`Scenario.as_job`; extra keyword arguments become run()
+        parameters shared by every design point.
+        """
+        jobs = [sc.as_job(experiment, quick=quick, **params) for sc in scenarios]
+        return self.submit(jobs, wait=wait, on_progress=on_progress)
+
+    def status(self, hashes: Sequence[str]) -> List[Dict[str, Any]]:
+        """Job states for the given config hashes."""
+        return self._request({"op": "status", "hashes": list(hashes)})["states"]
+
+    def fetch(
+        self, hashes: Optional[Sequence[str]] = None, *, all: bool = False
+    ) -> Dict[str, Any]:
+        """Completed results by hash (or everything with ``all=True``).
+
+        Returns ``{"results": [...], "missing": [...]}``; each result dict
+        is the ``BatchResult.to_dict`` shape and rebuilds into an
+        :class:`ExperimentResult` via :meth:`as_results`.
+        """
+        if all:
+            request: Dict[str, Any] = {"op": "fetch", "all": True, "hashes": []}
+        else:
+            request = {"op": "fetch", "hashes": list(hashes or [])}
+        response = self._request(request)
+        return {"results": response["results"], "missing": response["missing"]}
+
+    def shutdown(self) -> Dict[str, Any]:
+        """Ask the daemon to exit cleanly."""
+        return self._request({"op": "shutdown"})
+
+    @staticmethod
+    def as_results(result_dicts: Iterable[Optional[Mapping[str, Any]]]) -> List[ExperimentResult]:
+        """Rebuild wire result dicts into (rows-only) ExperimentResults."""
+        return [
+            ExperimentResult.from_dict(data)
+            for data in result_dicts
+            if data is not None
+        ]
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    def _request(
+        self, payload: Dict[str, Any], *, on_event: Optional[ProgressCallback] = None
+    ) -> Dict[str, Any]:
+        """One request/response round trip (event lines go to ``on_event``)."""
+        try:
+            connection = socket.create_connection(
+                (self.host, self.port), timeout=self.timeout
+            )
+        except OSError as exc:
+            raise ServiceError(
+                f"cannot reach repro.service at {self.host}:{self.port} "
+                f"({exc}); is the daemon running? start one with "
+                "'repro-experiments serve'"
+            ) from None
+        try:
+            with connection:
+                connection.sendall(encode(payload))
+                reader = connection.makefile("rb")
+                while True:
+                    line = reader.readline(MAX_MESSAGE_BYTES + 2)
+                    if not line:
+                        raise ServiceError(
+                            f"repro.service at {self.host}:{self.port} closed "
+                            "the connection mid-request"
+                        )
+                    try:
+                        message = decode(line)
+                    except ProtocolError as exc:
+                        raise ServiceError(f"bad response from the daemon: {exc}") from None
+                    if "event" in message:
+                        if on_event is not None:
+                            on_event(message)
+                        continue
+                    if not message.get("ok", False):
+                        raise ServiceError(
+                            message.get("error", "the daemon reported an unknown error")
+                        )
+                    return message
+        except socket.timeout:
+            raise ServiceError(
+                f"request to repro.service at {self.host}:{self.port} timed "
+                f"out after {self.timeout}s"
+            ) from None
+        except OSError as exc:
+            raise ServiceError(
+                f"connection to repro.service at {self.host}:{self.port} "
+                f"failed: {exc}"
+            ) from None

@@ -1,0 +1,145 @@
+"""Wire protocol of the analysis service: newline-delimited JSON messages.
+
+One request is one JSON object on one line; the server answers with zero or
+more *event* lines (objects carrying an ``"event"`` key, e.g. streamed job
+progress) followed by exactly one *response* line (an object carrying an
+``"ok"`` key).  The connection stays open for further requests, so a client
+may pipeline; the bundled :class:`~repro.service.client.ServiceClient` opens
+one connection per request for simplicity.
+
+Requests (the ``"op"`` key selects the operation)::
+
+    {"op": "ping"}
+    {"op": "submit", "jobs": [JOB, ...], "wait": true, "stream": true}
+    {"op": "status", "hashes": [HASH, ...]}
+    {"op": "fetch", "hashes": [HASH, ...]}        # or {"op": "fetch", "all": true}
+    {"op": "stats"}
+    {"op": "shutdown"}
+
+where ``JOB`` is ``{"experiment": str, "params": {...}, "quick": bool}`` --
+exactly the fields of :class:`repro.api.BatchJob` -- and ``HASH`` is the
+config hash returned by a submission ticket.
+
+This module is transport-agnostic plumbing shared by the asyncio server and
+the blocking socket client: message (de)serialisation and request
+validation.  It only depends on :mod:`repro.api` for the job shape.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Mapping, Optional
+
+from ..api.engine import BatchJob
+from ..api.results import ResultEncoder
+
+__all__ = [
+    "DEFAULT_HOST",
+    "DEFAULT_PORT",
+    "ProtocolError",
+    "encode",
+    "decode",
+    "job_from_wire",
+    "job_to_wire",
+    "error_response",
+]
+
+DEFAULT_HOST = "127.0.0.1"
+DEFAULT_PORT = 8537
+
+#: Upper bound on one serialized message, applied on both ends (a large
+#: sweep of rich params fits comfortably; a runaway line does not).
+MAX_MESSAGE_BYTES = 32 * 1024 * 1024
+
+_OPS = ("ping", "submit", "status", "fetch", "stats", "shutdown")
+
+
+class ProtocolError(ValueError):
+    """A malformed protocol message (bad JSON, unknown op, bad job spec)."""
+
+
+def encode(message: Mapping[str, Any]) -> bytes:
+    """Serialize one message to its single-line wire form."""
+    line = json.dumps(message, separators=(",", ":"), cls=ResultEncoder)
+    blob = line.encode("utf-8") + b"\n"
+    if len(blob) > MAX_MESSAGE_BYTES:
+        raise ProtocolError(
+            f"message of {len(blob)} bytes exceeds the {MAX_MESSAGE_BYTES}-byte limit"
+        )
+    return blob
+
+
+def decode(line: bytes) -> Dict[str, Any]:
+    """Parse one wire line into a message dict."""
+    if len(line) > MAX_MESSAGE_BYTES:
+        raise ProtocolError(
+            f"message of {len(line)} bytes exceeds the {MAX_MESSAGE_BYTES}-byte limit"
+        )
+    try:
+        message = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise ProtocolError(f"malformed JSON message: {exc}") from None
+    if not isinstance(message, dict):
+        raise ProtocolError(f"a message must be a JSON object, got {type(message).__name__}")
+    return message
+
+
+def validate_request(message: Mapping[str, Any]) -> str:
+    """Check the request shape; returns the operation name."""
+    op = message.get("op")
+    if op not in _OPS:
+        raise ProtocolError(
+            f"unknown operation {op!r} (known operations: {', '.join(_OPS)})"
+        )
+    if op == "submit":
+        jobs = message.get("jobs")
+        if not isinstance(jobs, list) or not jobs:
+            raise ProtocolError("submit needs a non-empty 'jobs' list")
+    if op in ("status", "fetch"):
+        hashes = message.get("hashes")
+        if op == "fetch" and message.get("all"):
+            return op
+        if not isinstance(hashes, list) or not all(isinstance(h, str) for h in hashes):
+            raise ProtocolError(f"{op} needs a 'hashes' list of config hashes")
+    return op
+
+
+def job_from_wire(spec: Any) -> BatchJob:
+    """Build a :class:`BatchJob` from its wire form, validating the shape."""
+    if not isinstance(spec, Mapping):
+        raise ProtocolError(f"a job must be an object, got {type(spec).__name__}")
+    unknown = set(spec) - {"experiment", "params", "quick"}
+    if unknown:
+        raise ProtocolError(f"unknown job field(s): {', '.join(sorted(unknown))}")
+    experiment = spec.get("experiment")
+    if not isinstance(experiment, str) or not experiment:
+        raise ProtocolError("a job needs an 'experiment' name")
+    params = spec.get("params", {})
+    if not isinstance(params, Mapping):
+        raise ProtocolError(f"job params must be an object, got {type(params).__name__}")
+    quick = spec.get("quick", False)
+    if not isinstance(quick, bool):
+        raise ProtocolError(f"job 'quick' must be a boolean, got {quick!r}")
+    return BatchJob(experiment=experiment, params=dict(params), quick=quick)
+
+
+def job_to_wire(job: BatchJob) -> Dict[str, Any]:
+    """The wire form of one :class:`BatchJob` (inverse of job_from_wire)."""
+    return {
+        "experiment": job.experiment,
+        "params": dict(job.params),
+        "quick": job.quick,
+    }
+
+
+def error_response(message: str, *, code: Optional[str] = None) -> Dict[str, Any]:
+    """A failed-request response line."""
+    response: Dict[str, Any] = {"ok": False, "error": message}
+    if code is not None:
+        response["code"] = code
+    return response
+
+
+def jobs_from_wire(specs: List[Any]) -> List[BatchJob]:
+    """Validate and convert a submission's job list."""
+    return [job_from_wire(spec) for spec in specs]

@@ -20,6 +20,7 @@ from repro.api import (
 ALL_EXPERIMENTS = {
     "table1", "table2", "table3", "fig2a", "fig2b",
     "avgperf", "area", "ablation", "validation", "reliability_sweep",
+    "scenario_wctt",
 }
 
 #: Small-but-representative parameters so the full-suite round trip is fast.
@@ -44,7 +45,7 @@ FAST_PARAMS = {
 
 
 class TestDiscovery:
-    def test_all_ten_experiments_registered(self):
+    def test_all_eleven_experiments_registered(self):
         assert {spec.name for spec in list_experiments()} == ALL_EXPERIMENTS
 
     def test_specs_carry_metadata(self):
