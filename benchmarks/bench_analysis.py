@@ -1,0 +1,157 @@
+"""Benchmark: the numpy-vectorized sweep engine against the scalar analysis.
+
+Two questions, recorded in ``BENCH_analysis.json`` at the repository root:
+
+* how many design points per second :func:`repro.analysis.evaluate_grid`
+  sustains on a >= 1000-point ``sweep()`` grid versus the scalar per-flow
+  reference, with the >= 10x speedup asserted (the whole point of the
+  vectorized kernels is that a grid submission stops being bound by python
+  route walks);
+* how much the :class:`~repro.analysis.vector.GridEvaluator` structural
+  cache saves when a sweep varies only ``packet_flits`` on top of a fixed
+  structure (the regular bound is affine in the packet's own flits, so
+  packet variants cost O(flows) additions instead of a kernel run).
+
+Both paths must agree bit-for-bit -- asserted here on every point, on top
+of the dedicated differential suite.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from repro.analysis.vector import GridEvaluator, evaluate_grid
+from repro.api import Scenario, sweep
+from repro.core import FlowSet, make_wctt_analysis, wctt_summary
+
+BENCH_JSON = os.path.join(os.path.dirname(__file__), "..", "BENCH_analysis.json")
+
+_RECORD = {}
+
+
+def _write_record() -> None:
+    with open(BENCH_JSON, "w", encoding="utf-8") as handle:
+        json.dump(_RECORD, handle, indent=2)
+        handle.write("\n")
+
+
+def _sweep_grid():
+    """A 1176-point structural grid (shapes x designs x depths x sizes x MC)."""
+    return sweep(
+        Scenario.mesh(4),
+        mesh=[(w, h) for w in range(6, 13) for h in range(6, 13)],
+        design=("regular", "waw_wap"),
+        buffer_depth=(1, 2, 4),
+        max_packet_flits=(2, 4),
+        memory_controller=[(0, 0), (1, 1)],
+    )
+
+
+def _scalar_summaries(grid):
+    summaries = []
+    for scenario in grid:
+        config = scenario.build()
+        flows = FlowSet.all_to_one(config.mesh, config.memory_controller)
+        summaries.append(wctt_summary(make_wctt_analysis(config), flows))
+    return summaries
+
+
+def bench_vector_sweep_speedup(benchmark):
+    """Vectorized grid evaluation must beat the scalar loop by >= 10x."""
+    grid = _sweep_grid()
+    assert len(grid) >= 1000
+
+    start = time.perf_counter()
+    scalar = _scalar_summaries(grid)
+    scalar_seconds = time.perf_counter() - start
+
+    vector_seconds = []
+    vector_results = []
+
+    def vector_sweep():
+        start = time.perf_counter()
+        vector_results.append(evaluate_grid(grid))
+        vector_seconds.append(time.perf_counter() - start)
+
+    benchmark.pedantic(vector_sweep, rounds=3, iterations=1)
+    for result in vector_results:
+        assert result == scalar  # bit-identical summaries, incl. float means
+
+    best_vector = min(vector_seconds)
+    speedup = scalar_seconds / best_vector
+    assert speedup >= 10.0, (
+        f"vectorized sweep ({best_vector:.3f}s) is only {speedup:.1f}x faster "
+        f"than the scalar loop ({scalar_seconds:.3f}s) on {len(grid)} points"
+    )
+    _RECORD["sweep_speedup"] = {
+        "benchmark": f"{len(grid)}-point scenario grid: evaluate_grid vs the "
+        "scalar per-flow analysis loop",
+        "design_points": len(grid),
+        "scalar_seconds": round(scalar_seconds, 4),
+        "scalar_points_per_second": round(len(grid) / scalar_seconds, 1),
+        "vector_seconds": round(best_vector, 4),
+        "vector_points_per_second": round(len(grid) / best_vector, 1),
+        "speedup": round(speedup, 1),
+    }
+    _write_record()
+    benchmark.extra_info.update(_RECORD["sweep_speedup"])
+
+
+def bench_packet_size_variants_reuse_structure(benchmark):
+    """Packet-size variants of one structure must amortize the kernel run."""
+    structures = sweep(
+        Scenario.mesh(8),
+        design="regular",
+        buffer_depth=(1, 2, 4),
+        max_packet_flits=(4, 8),
+    )
+    sizes = (1, 2, 3, 4)
+
+    def fresh_per_variant():
+        # Reference: a new evaluator per variant recomputes every kernel.
+        results = []
+        for size in sizes:
+            results.extend(evaluate_grid(structures, packet_flits=size))
+        return results
+
+    start = time.perf_counter()
+    fresh = fresh_per_variant()
+    fresh_seconds = time.perf_counter() - start
+
+    cached_seconds = []
+    cached_results = []
+    hit_counts = []
+
+    def cached_variants():
+        evaluator = GridEvaluator()
+        start = time.perf_counter()
+        results = []
+        for size in sizes:
+            for scenario in structures:
+                results.append(evaluator.summary(scenario, packet_flits=size))
+        cached_seconds.append(time.perf_counter() - start)
+        cached_results.append(results)
+        hit_counts.append((evaluator.hits, evaluator.misses))
+
+    benchmark.pedantic(cached_variants, rounds=3, iterations=1)
+    expected_misses = len(structures)
+    expected_hits = len(structures) * (len(sizes) - 1)
+    for hits, misses in hit_counts:
+        assert (hits, misses) == (expected_hits, expected_misses)
+    for results in cached_results:
+        assert results == fresh
+
+    best_cached = min(cached_seconds)
+    _RECORD["packet_variants"] = {
+        "benchmark": f"{len(structures)} structures x {len(sizes)} packet "
+        "sizes: per-variant kernel runs vs the structural cache",
+        "evaluations": len(structures) * len(sizes),
+        "fresh_seconds": round(fresh_seconds, 4),
+        "cached_seconds": round(best_cached, 4),
+        "cache_hits": expected_hits,
+        "speedup": round(fresh_seconds / best_cached, 1),
+    }
+    _write_record()
+    benchmark.extra_info.update(_RECORD["packet_variants"])

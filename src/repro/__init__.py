@@ -110,8 +110,15 @@ from .faults import (
 )
 
 from .service import ResultStore, StoreError, default_store_dir
+from .analysis import (
+    evaluate_grid,
+    make_vector_analysis,
+    vector_supported,
+    vector_wctt_map,
+    vector_wctt_summary,
+)
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 #: Service entry points resolved lazily (they pull in asyncio machinery
 #: that most library users never touch).

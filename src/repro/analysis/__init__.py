@@ -1,7 +1,19 @@
-"""Analysis utilities: bound validation and report formatting."""
+"""Analysis utilities: bound validation, report formatting and the
+numpy-vectorized batch evaluator (:mod:`repro.analysis.vector`)."""
 
 from .reporting import format_grid, format_key_values, format_table, format_title
 from .validation import BoundValidationResult, validate_design, validate_flow_bound
+from .vector import (
+    GridEvaluator,
+    VectorRegularAnalysis,
+    VectorWaWWaPAnalysis,
+    evaluate_grid,
+    make_vector_analysis,
+    vector_supported,
+    vector_ubd_entries,
+    vector_wctt_map,
+    vector_wctt_summary,
+)
 
 __all__ = [
     "format_grid",
@@ -11,4 +23,13 @@ __all__ = [
     "BoundValidationResult",
     "validate_design",
     "validate_flow_bound",
+    "GridEvaluator",
+    "VectorRegularAnalysis",
+    "VectorWaWWaPAnalysis",
+    "evaluate_grid",
+    "make_vector_analysis",
+    "vector_supported",
+    "vector_ubd_entries",
+    "vector_wctt_map",
+    "vector_wctt_summary",
 ]

@@ -69,7 +69,15 @@ class UBDEntry:
 
 
 class UBDTable:
-    """Per-core upper bound delays for one NoC design point."""
+    """Per-core upper bound delays for one NoC design point.
+
+    ``engine`` selects how the table is filled: ``"auto"`` (default) uses
+    the vectorized WaW+WaP kernels of :mod:`repro.analysis.vector` when the
+    design point supports them (four message grids replace the per-core
+    route walks) and falls back to the scalar analysis otherwise;
+    ``"scalar"`` forces the reference path.  Both fill the table with
+    bit-identical values (``tests/test_differential_analysis.py``).
+    """
 
     def __init__(
         self,
@@ -78,8 +86,12 @@ class UBDTable:
         memory: Optional[MemoryTiming] = None,
         analysis: Optional[AnalysisType] = None,
         weight_table: Optional[WeightTable] = None,
+        engine: str = "auto",
     ):
+        if engine not in ("auto", "scalar"):
+            raise ValueError(f"engine must be 'auto' or 'scalar', got {engine!r}")
         self.config = config
+        self.engine = engine
         self.memory = memory if memory is not None else MemoryTiming()
         if analysis is not None:
             self.analysis: AnalysisType = analysis
@@ -98,6 +110,8 @@ class UBDTable:
 
     # ------------------------------------------------------------------
     def _build(self) -> None:
+        if self.engine == "auto" and self._vector_build():
+            return
         mesh = self.config.mesh
         mc = self.config.memory_controller
         msgs = self.config.messages
@@ -120,6 +134,25 @@ class UBDTable:
                 eviction_wctt=eviction,
                 eviction_ack_wctt=eviction_ack,
             )
+
+    def _vector_build(self) -> bool:
+        """Fill the table through the vectorized kernels when applicable."""
+        from .wctt_weighted import WaWWaPWCTTAnalysis
+
+        if not isinstance(self.analysis, WaWWaPWCTTAnalysis):
+            return False
+        # Imported lazily: repro.analysis.vector depends on this module.
+        from ..analysis.vector import vector_supported, vector_ubd_entries
+
+        if vector_supported(self.config) is not None:
+            return False
+        self._entries = vector_ubd_entries(
+            self.config,
+            weight_table=self.analysis.weights,
+            regulated_contenders=self.analysis.regulated_contenders,
+            service_latency=self.memory.service_latency,
+        )
+        return True
 
     # ------------------------------------------------------------------
     def entry(self, core: Coord) -> UBDEntry:

@@ -163,9 +163,17 @@ class WeightTable:
     output port serves ``O`` flits of which ``I`` come from the input.
     """
 
-    def __init__(self, mesh: Mesh, counts_by_router: Mapping[Coord, PortCounts]):
+    def __init__(
+        self,
+        mesh: Mesh,
+        counts_by_router: Mapping[Coord, PortCounts],
+        *,
+        origin: str = "explicit per-router counts",
+    ):
         self.mesh = mesh
         self._counts: Dict[Coord, PortCounts] = dict(counts_by_router)
+        #: Human-readable construction path, quoted by lookup errors.
+        self.origin = origin
 
     # ------------------------------------------------------------------
     # Constructors
@@ -199,6 +207,11 @@ class WeightTable:
                 router: _scaled(counts_fn(mesh, router), scale)
                 for router in mesh.nodes()
             },
+            origin=(
+                "closed form (paper's printed expressions)"
+                if as_printed
+                else "closed form (source counting)"
+            ),
         )
 
     @classmethod
@@ -230,14 +243,25 @@ class WeightTable:
                 port: scale * count(router, port, "out") for port in mesh.output_ports(router)
             }
             counts_by_router[router] = PortCounts(router, inputs, outputs)
-        return cls(mesh, counts_by_router)
+        return cls(
+            mesh,
+            counts_by_router,
+            origin=f"flow set ({len(flow_set)} flows, {granularity} granularity)",
+        )
 
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
     def counts(self, router: Coord) -> PortCounts:
         self.mesh.require(router)
-        return self._counts[router]
+        try:
+            return self._counts[router]
+        except KeyError:
+            raise KeyError(
+                f"router {router} is inside the mesh but has no entry in this "
+                f"WeightTable built from {self.origin} "
+                f"(covers {len(self._counts)} of {len(list(self.mesh.nodes()))} routers)"
+            ) from None
 
     def input_credits(self, router: Coord, in_port: Port) -> int:
         """Flit credits of ``in_port`` in one arbitration round (the weight)."""
@@ -293,13 +317,13 @@ def round_robin_weight(
     """
     legal = as_topology(mesh).legal_inputs_for_output(router, out_port)
     if flow_set is not None:
+        # One lookup per call: membership tests against a set instead of
+        # re-deriving the output's flow tuple for every flow of every input.
+        through_output = set(flow_set.flows_through_output(router, out_port))
         active = [
             p
             for p in legal
-            if any(
-                flow in flow_set.flows_through_output(router, out_port)
-                for flow in flow_set.flows_through_input(router, p)
-            )
+            if not through_output.isdisjoint(flow_set.flows_through_input(router, p))
         ]
     else:
         active = list(legal)

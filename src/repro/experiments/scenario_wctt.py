@@ -60,6 +60,10 @@ class ScenarioWCTTPoint:
         }
 
 
+#: Accepted values for the ``engine`` parameter of :func:`run`.
+ENGINES = ("auto", "vector", "scalar")
+
+
 @experiment(
     "scenario_wctt",
     description="WCTT bound summary of one arbitrary Scenario design point",
@@ -67,19 +71,32 @@ class ScenarioWCTTPoint:
     sweep_axes={
         "packet_flits": lambda v: {"packet_flits": v},
         "scenario": lambda v: {"scenario": v.to_dict() if isinstance(v, Scenario) else v},
+        "engine": lambda v: {"engine": v},
     },
 )
 def run(
     *,
     scenario: Optional[Union[Scenario, Mapping[str, Any]]] = None,
     packet_flits: int = 1,
+    engine: str = "auto",
 ) -> List[ScenarioWCTTPoint]:
     """Evaluate the WCTT bound summary for ``scenario``.
 
     ``scenario`` is a :class:`Scenario` or its :meth:`Scenario.to_dict`
     form (the shape a daemon submission travels in); the default is the
     4x4 WaW+WaP mesh.  ``packet_flits`` is the analysed packet length.
+
+    ``engine`` selects the evaluation path: ``"auto"`` (default) uses the
+    numpy-vectorized engine of :mod:`repro.analysis.vector` whenever the
+    design point supports it and falls back to the scalar analysis
+    otherwise; ``"vector"`` demands the vectorized path (raises with the
+    reason when unsupported); ``"scalar"`` forces the per-flow reference
+    path.  Both paths produce bit-identical summaries (enforced by
+    ``tests/test_differential_analysis.py``), so the flag never changes
+    results -- only throughput.
     """
+    if engine not in ENGINES:
+        raise ValueError(f"engine must be one of {ENGINES}, got {engine!r}")
     if scenario is None:
         scenario = Scenario.mesh(4).waw_wap()
     elif isinstance(scenario, Mapping):
@@ -89,9 +106,18 @@ def run(
             f"scenario must be a Scenario or its dict form, got {type(scenario).__name__}"
         )
     config = scenario.build()
-    flows = FlowSet.all_to_one(config.mesh, config.memory_controller)
-    analysis = make_wctt_analysis(config)
-    summary = wctt_summary(analysis, flows, packet_flits=packet_flits)
+
+    from ..analysis.vector import vector_supported, vector_wctt_summary
+
+    reason = vector_supported(config)
+    if engine == "vector" and reason is not None:
+        raise ValueError(f"engine='vector' cannot evaluate this scenario: {reason}")
+    if engine != "scalar" and reason is None:
+        summary = vector_wctt_summary(config, packet_flits=packet_flits)
+    else:
+        flows = FlowSet.all_to_one(config.mesh, config.memory_controller)
+        analysis = make_wctt_analysis(config)
+        summary = wctt_summary(analysis, flows, packet_flits=packet_flits)
     return [
         ScenarioWCTTPoint(
             label=scenario.label(),
@@ -111,11 +137,12 @@ def report(
     *,
     scenario: Optional[Union[Scenario, Mapping[str, Any]]] = None,
     packet_flits: int = 1,
+    engine: str = "auto",
 ) -> str:
     points = (
         unwrap(points)
         if points is not None
-        else unwrap(run(scenario=scenario, packet_flits=packet_flits))
+        else unwrap(run(scenario=scenario, packet_flits=packet_flits, engine=engine))
     )
     title = format_title("WCTT bound summary (all-to-one memory traffic)")
     table = format_table([p.as_dict() for p in points])

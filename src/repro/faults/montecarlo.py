@@ -104,17 +104,24 @@ class LatencyDistribution:
         )
 
     def as_dict(self) -> Dict[str, float]:
+        # One rounding policy for every statistic: three digits, always a
+        # float.  (Latency samples are ints, so min/max/percentiles used to
+        # leak through unrounded and type-unstable, destabilising JSON
+        # exports and golden files.)
+        def stat(value: float) -> float:
+            return round(float(value), 3)
+
         return {
             "count": self.count,
-            "mean": round(self.mean, 3),
-            "std": round(self.std, 3),
-            "min": self.minimum,
-            "max": self.maximum,
-            "p50": self.p50,
-            "p90": self.p90,
-            "p99": self.p99,
-            "p999": self.p999,
-            "ci95": round(self.ci95, 3),
+            "mean": stat(self.mean),
+            "std": stat(self.std),
+            "min": stat(self.minimum),
+            "max": stat(self.maximum),
+            "p50": stat(self.p50),
+            "p90": stat(self.p90),
+            "p99": stat(self.p99),
+            "p999": stat(self.p999),
+            "ci95": stat(self.ci95),
         }
 
 

@@ -1,0 +1,285 @@
+"""Differential harness: the vectorized engine vs the scalar reference.
+
+The contract of :mod:`repro.analysis.vector` is *bit-identical integers*
+(and bit-identical float means, since both sides feed the same python ints
+to :func:`statistics.mean`): the numpy kernels are a pure performance
+feature and must never change a single bound.  This file sweeps a wide grid
+of design points and asserts exact equality on every surface the engine
+exposes -- packet maps, message grids in both directions, all-to-one
+summaries, UBD tables and the ``scenario_wctt`` experiment wiring.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from repro.analysis.vector import (
+    VectorRegularAnalysis,
+    VectorWaWWaPAnalysis,
+    closed_form_count_arrays,
+    evaluate_grid,
+    make_vector_analysis,
+    vector_supported,
+    vector_ubd_entries,
+    vector_wctt_map,
+    vector_wctt_summary,
+    weight_count_arrays,
+)
+from repro.api.results import unwrap
+from repro.api.scenario import Scenario, sweep
+from repro.core import (
+    FlowSet,
+    UBDTable,
+    WeightTable,
+    make_wctt_analysis,
+    regular_mesh_config,
+    waw_wap_config,
+    wctt_map,
+    wctt_summary,
+)
+from repro.core.config import RouterTiming
+from repro.core.ubd import MemoryTiming
+from repro.core.wctt_weighted import WaWWaPWCTTAnalysis
+from repro.experiments import scenario_wctt
+from repro.geometry import Coord, Mesh, Port
+from repro.topology import ConcentratedMesh
+
+MESHES = [(2, 2), (3, 3), (4, 4), (5, 3), (3, 5), (1, 5), (5, 1)]
+CONFIG_FNS = {"regular": regular_mesh_config, "waw_wap": waw_wap_config}
+
+
+def _destinations(mesh: Mesh):
+    """Corner, centre and an edge node -- distinct route structures."""
+    picks = {
+        Coord(0, 0),
+        Coord(mesh.width - 1, mesh.height - 1),
+        Coord(mesh.width // 2, mesh.height // 2),
+        Coord(mesh.width - 1, 0),
+    }
+    return sorted(picks)
+
+
+class TestCountArrays:
+    @pytest.mark.parametrize("width,height", MESHES)
+    @pytest.mark.parametrize("as_printed", [False, True])
+    def test_closed_forms_match_weight_table(self, width, height, as_printed):
+        mesh = Mesh(width, height)
+        table = WeightTable.from_closed_form(mesh, as_printed=as_printed)
+        vec_in, vec_out = closed_form_count_arrays(mesh, as_printed=as_printed)
+        tab_in, tab_out = weight_count_arrays(table)
+        for port in Port:
+            assert (vec_in[port] == tab_in[port]).all(), (port, "in")
+            assert (vec_out[port] == tab_out[port]).all(), (port, "out")
+
+    def test_cmesh_scaling_matches_weight_table(self):
+        mesh = ConcentratedMesh(3, 3, concentration=4)
+        table = WeightTable.from_closed_form(mesh)
+        vec_in, vec_out = closed_form_count_arrays(mesh)
+        tab_in, tab_out = weight_count_arrays(table)
+        for port in Port:
+            assert (vec_in[port] == tab_in[port]).all()
+            assert (vec_out[port] == tab_out[port]).all()
+
+
+class TestPacketMaps:
+    @pytest.mark.parametrize("width,height", MESHES)
+    @pytest.mark.parametrize("design", ["regular", "waw_wap"])
+    def test_wctt_map_bit_identical(self, width, height, design):
+        config = CONFIG_FNS[design](width, height)
+        scalar = make_wctt_analysis(config)
+        vector = make_vector_analysis(config)
+        for destination in _destinations(config.mesh):
+            for packet_flits in (1, config.min_packet_flits if design == "waw_wap" else 7):
+                assert vector_wctt_map(
+                    vector, destination, packet_flits=packet_flits
+                ) == wctt_map(scalar, destination, packet_flits=packet_flits)
+
+    @pytest.mark.parametrize("buffer_depth", [1, 4, 9])
+    def test_unregulated_contenders_bit_identical(self, buffer_depth):
+        config = waw_wap_config(4, 3, buffer_depth=buffer_depth)
+        scalar = WaWWaPWCTTAnalysis(config, regulated_contenders=False)
+        vector = VectorWaWWaPAnalysis(config, regulated_contenders=False)
+        for destination in _destinations(config.mesh):
+            assert vector_wctt_map(vector, destination) == wctt_map(scalar, destination)
+
+    def test_memory_traffic_weights_bit_identical(self):
+        config = waw_wap_config(4, 4)
+        scalar = WaWWaPWCTTAnalysis.for_memory_traffic(config)
+        vector = VectorWaWWaPAnalysis(config, scalar.weights)
+        mc = config.memory_controller
+        assert vector_wctt_map(vector, mc) == wctt_map(scalar, mc)
+
+    def test_nondefault_timing_bit_identical(self):
+        timing = RouterTiming(routing_latency=3, link_latency=2, flit_cycle=2)
+        for design, fn in CONFIG_FNS.items():
+            config = fn(3, 4, timing=timing, buffer_depth=2)
+            scalar = make_wctt_analysis(config)
+            vector = make_vector_analysis(config)
+            for destination in _destinations(config.mesh):
+                assert vector_wctt_map(vector, destination) == wctt_map(
+                    scalar, destination
+                ), design
+
+    @pytest.mark.parametrize("concentration", [2, 4])
+    def test_cmesh_bit_identical(self, concentration):
+        base = waw_wap_config(3, 3)
+        config = dataclasses.replace(
+            base, mesh=ConcentratedMesh(3, 3, concentration=concentration)
+        )
+        scalar = make_wctt_analysis(config)
+        vector = make_vector_analysis(config)
+        for destination in _destinations(config.mesh):
+            assert vector_wctt_map(vector, destination) == wctt_map(scalar, destination)
+
+
+class TestMessageGrids:
+    @pytest.mark.parametrize("payload", [1, 2, 4, 7, 16])
+    def test_waw_message_to_and_from(self, payload):
+        config = waw_wap_config(4, 3)
+        scalar = make_wctt_analysis(config)
+        vector = make_vector_analysis(config)
+        mc = config.memory_controller
+        to_grid = vector.message_grid_to(mc, payload_flits=payload)
+        from_grid = vector.message_grid_from(mc, payload_flits=payload)
+        for node in config.mesh.nodes():
+            if node == mc:
+                continue
+            assert int(to_grid[node.y, node.x]) == scalar.wctt_message(
+                node, mc, payload_flits=payload
+            )
+            assert int(from_grid[node.y, node.x]) == scalar.wctt_message(
+                mc, node, payload_flits=payload
+            )
+
+    @pytest.mark.parametrize("payload", [1, 3, 4, 9])
+    def test_regular_message_to(self, payload):
+        config = regular_mesh_config(4, 3)
+        scalar = make_wctt_analysis(config)
+        vector = make_vector_analysis(config)
+        for destination in _destinations(config.mesh):
+            grid = vector.message_grid_to(destination, payload_flits=payload)
+            for node in config.mesh.nodes():
+                if node == destination:
+                    continue
+                assert int(grid[node.y, node.x]) == scalar.wctt_message(
+                    node, destination, payload_flits=payload
+                )
+
+
+class TestSummaries:
+    @pytest.mark.parametrize("width,height", MESHES)
+    @pytest.mark.parametrize("design", ["regular", "waw_wap"])
+    def test_summary_bit_identical_including_mean(self, width, height, design):
+        config = CONFIG_FNS[design](width, height)
+        flows = FlowSet.all_to_one(config.mesh, config.memory_controller)
+        scalar = wctt_summary(make_wctt_analysis(config), flows)
+        vector = vector_wctt_summary(config)
+        # Dataclass equality covers the float mean bit-for-bit.
+        assert vector == scalar
+
+    def test_evaluate_grid_matches_scalar_per_point(self):
+        grid = sweep(
+            Scenario.mesh(4),
+            design=("regular", "waw_wap"),
+            buffer_depth=(1, 4),
+        )
+        summaries = evaluate_grid(grid)
+        assert len(summaries) == len(grid)
+        for scenario, summary in zip(grid, summaries):
+            config = scenario.build()
+            flows = FlowSet.all_to_one(config.mesh, config.memory_controller)
+            assert summary == wctt_summary(make_wctt_analysis(config), flows)
+
+
+class TestUBDTables:
+    @pytest.mark.parametrize("width,height", [(2, 2), (4, 4), (5, 3)])
+    def test_auto_equals_scalar_engine(self, width, height):
+        config = waw_wap_config(width, height)
+        auto = UBDTable(config)
+        scalar = UBDTable(config, engine="scalar")
+        assert auto.as_dict() == scalar.as_dict()
+
+    def test_vector_entries_match_scalar_build(self):
+        config = waw_wap_config(4, 4)
+        scalar = UBDTable(config, engine="scalar")
+        analysis = WaWWaPWCTTAnalysis.for_memory_traffic(config)
+        entries = vector_ubd_entries(
+            config,
+            weight_table=analysis.weights,
+            regulated_contenders=analysis.regulated_contenders,
+            service_latency=MemoryTiming().service_latency,
+        )
+        assert entries == scalar.as_dict()
+
+    def test_regular_design_still_scalar(self):
+        # The auto path only applies to WaW+WaP analyses; a regular design
+        # must keep producing the reference table.
+        config = regular_mesh_config(3, 3)
+        assert UBDTable(config).as_dict() == UBDTable(config, engine="scalar").as_dict()
+
+    def test_unsupported_topology_falls_back(self):
+        config = Scenario.mesh(4).waw_wap().topology("torus").build()
+        assert UBDTable(config).as_dict() == UBDTable(config, engine="scalar").as_dict()
+
+
+class TestExperimentWiring:
+    @pytest.mark.parametrize("design", ["regular", "waw_wap"])
+    def test_engine_flag_never_changes_results(self, design):
+        scenario = Scenario.mesh(4).design(design)
+        results = {
+            engine: unwrap(scenario_wctt.run(scenario=scenario, engine=engine))
+            for engine in scenario_wctt.ENGINES
+        }
+        assert results["vector"] == results["scalar"] == results["auto"]
+
+    def test_engine_vector_raises_with_reason_on_torus(self):
+        scenario = Scenario.mesh(4).waw_wap().topology("torus")
+        with pytest.raises(ValueError, match="wrap-around"):
+            scenario_wctt.run(scenario=scenario, engine="vector")
+
+    def test_engine_vector_raises_with_reason_on_yx(self):
+        scenario = Scenario.mesh(4).waw_wap().topology("mesh", routing="yx")
+        with pytest.raises(ValueError, match="XY routing"):
+            scenario_wctt.run(scenario=scenario, engine="vector")
+
+    def test_auto_falls_back_to_scalar_on_unsupported(self):
+        scenario = Scenario.mesh(4).waw_wap().topology("torus")
+        auto = unwrap(scenario_wctt.run(scenario=scenario, engine="auto"))
+        scalar = unwrap(scenario_wctt.run(scenario=scenario, engine="scalar"))
+        assert auto == scalar
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="engine"):
+            scenario_wctt.run(engine="turbo")
+
+
+class TestSupportPredicate:
+    def test_plain_mesh_supported(self):
+        assert vector_supported(waw_wap_config(4, 4)) is None
+        assert vector_supported(regular_mesh_config(4, 4)) is None
+
+    def test_reasons_are_descriptive(self):
+        torus = Scenario.mesh(4).waw_wap().topology("torus").build()
+        assert "wrap-around" in vector_supported(torus)
+        yx = Scenario.mesh(4).waw_wap().topology("mesh", routing="yx").build()
+        assert "XY" in vector_supported(yx)
+        assert "policy" in vector_supported(
+            waw_wap_config(4, 4), contender_policy="any_direction"
+        )
+
+    def test_overflow_guard_refuses_giant_design(self):
+        config = waw_wap_config(4, 4, buffer_depth=2**58)
+        reason = vector_supported(config)
+        assert reason is not None and "overflow" in reason
+
+    def test_vector_analyses_refuse_unsupported_configs(self):
+        torus = Scenario.mesh(4).waw_wap().topology("torus").build()
+        with pytest.raises(ValueError, match="not vectorizable"):
+            VectorWaWWaPAnalysis(torus)
+        yx = Scenario.mesh(4).regular().topology("mesh", routing="yx").build()
+        with pytest.raises(ValueError, match="not vectorizable"):
+            VectorRegularAnalysis(yx)

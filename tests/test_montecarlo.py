@@ -213,3 +213,27 @@ class TestReliabilitySweepExperiment:
 
         text = reliability_sweep.report(rows)
         assert "WCTT" in text
+
+
+class TestAsDictRounding:
+    def test_every_statistic_is_a_rounded_float(self):
+        """One rounding policy: three digits, always a float (int samples
+        used to leak through min/max/percentiles unrounded)."""
+        dist = LatencyDistribution.from_samples([10, 20, 30, 41])
+        data = dist.as_dict()
+        assert data["count"] == 4
+        for key, value in data.items():
+            if key == "count":
+                continue
+            assert isinstance(value, float), key
+            assert value == round(value, 3), key
+        assert data["min"] == 10.0
+        assert data["max"] == 41.0
+        assert data["mean"] == 25.25
+
+    def test_irrational_statistics_round_to_three_digits(self):
+        dist = LatencyDistribution.from_samples([1, 2, 4])
+        data = dist.as_dict()
+        assert data["mean"] == round(7 / 3, 3)
+        assert data["std"] == round(dist.std, 3)
+        assert data["ci95"] == round(dist.ci95, 3)

@@ -1,0 +1,207 @@
+"""Edge cases and property tests for :mod:`repro.analysis.vector`.
+
+Complements ``tests/test_differential_analysis.py`` (the fixed wide grid)
+with degenerate shapes -- single-row/column meshes, single-flow weight
+tables with zero-weight ports, unregulated contenders -- plus
+hypothesis-driven scalar-vs-vector equivalence over random design points
+and the :class:`GridEvaluator` caching contract.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+np = pytest.importorskip("numpy")
+
+from repro.analysis.vector import (
+    GridEvaluator,
+    VectorWaWWaPAnalysis,
+    evaluate_grid,
+    make_vector_analysis,
+    vector_supported,
+    vector_wctt_map,
+    vector_wctt_summary,
+)
+from repro.api.scenario import Scenario, sweep
+from repro.core import (
+    FlowSet,
+    WeightTable,
+    make_wctt_analysis,
+    regular_mesh_config,
+    waw_wap_config,
+    wctt_map,
+    wctt_summary,
+)
+from repro.core.wctt_weighted import WaWWaPWCTTAnalysis
+from repro.geometry import Coord, Mesh
+
+CONFIG_FNS = {"regular": regular_mesh_config, "waw_wap": waw_wap_config}
+
+
+class TestDegenerateShapes:
+    @pytest.mark.parametrize("width,height", [(1, 2), (1, 6), (2, 1), (6, 1)])
+    @pytest.mark.parametrize("design", ["regular", "waw_wap"])
+    def test_single_row_and_column_meshes(self, width, height, design):
+        config = CONFIG_FNS[design](width, height)
+        scalar = make_wctt_analysis(config)
+        vector = make_vector_analysis(config)
+        for destination in config.mesh.nodes():
+            assert vector_wctt_map(vector, destination) == wctt_map(
+                scalar, destination
+            ), destination
+
+    def test_single_node_mesh_summary_raises_empty(self):
+        config = waw_wap_config(1, 1)
+        with pytest.raises(ValueError, match="flow set is empty"):
+            vector_wctt_summary(config)
+
+    def test_two_node_mesh(self):
+        config = waw_wap_config(2, 1)
+        summary = vector_wctt_summary(config)
+        flows = FlowSet.all_to_one(config.mesh, config.memory_controller)
+        assert summary == wctt_summary(make_wctt_analysis(config), flows)
+
+
+class TestZeroWeightPorts:
+    def test_single_flow_weight_table(self):
+        """A one-flow table leaves most ports at weight 0 (clamped to 1)."""
+        config = waw_wap_config(3, 3)
+        mesh = config.mesh
+        flows = FlowSet.from_pairs(mesh, [(Coord(2, 2), Coord(0, 0))])
+        table = WeightTable.from_flow_set(flows)
+        scalar = WaWWaPWCTTAnalysis(config, table)
+        vector = VectorWaWWaPAnalysis(config, table)
+        for destination in (Coord(0, 0), Coord(1, 1), Coord(2, 0)):
+            assert vector_wctt_map(vector, destination) == wctt_map(scalar, destination)
+
+    def test_single_flow_unregulated(self):
+        config = waw_wap_config(3, 3, buffer_depth=6)
+        flows = FlowSet.from_pairs(config.mesh, [(Coord(0, 2), Coord(2, 0))])
+        table = WeightTable.from_flow_set(flows)
+        scalar = WaWWaPWCTTAnalysis(config, table, regulated_contenders=False)
+        vector = VectorWaWWaPAnalysis(config, table, regulated_contenders=False)
+        for destination in (Coord(2, 0), Coord(0, 0)):
+            assert vector_wctt_map(vector, destination) == wctt_map(scalar, destination)
+
+
+class TestProperties:
+    @given(
+        width=st.integers(1, 6),
+        height=st.integers(1, 6),
+        dx=st.integers(0, 5),
+        dy=st.integers(0, 5),
+        design=st.sampled_from(["regular", "waw_wap"]),
+        buffer_depth=st.integers(1, 8),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_random_design_points_bit_identical(
+        self, width, height, dx, dy, design, buffer_depth
+    ):
+        if dx >= width or dy >= height:
+            return
+        config = CONFIG_FNS[design](width, height, buffer_depth=buffer_depth)
+        destination = Coord(dx, dy)
+        scalar = make_wctt_analysis(config)
+        vector = make_vector_analysis(config)
+        assert vector_wctt_map(vector, destination) == wctt_map(scalar, destination)
+
+    @given(
+        width=st.integers(2, 5),
+        height=st.integers(2, 5),
+        payload=st.integers(1, 12),
+        regulated=st.booleans(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_random_waw_messages_both_directions(
+        self, width, height, payload, regulated
+    ):
+        config = waw_wap_config(width, height)
+        scalar = WaWWaPWCTTAnalysis(config, regulated_contenders=regulated)
+        vector = VectorWaWWaPAnalysis(config, regulated_contenders=regulated)
+        mc = config.memory_controller
+        to_grid = vector.message_grid_to(mc, payload_flits=payload)
+        from_grid = vector.message_grid_from(mc, payload_flits=payload)
+        for node in config.mesh.nodes():
+            if node == mc:
+                continue
+            assert int(to_grid[node.y, node.x]) == scalar.wctt_message(
+                node, mc, payload_flits=payload
+            )
+            assert int(from_grid[node.y, node.x]) == scalar.wctt_message(
+                mc, node, payload_flits=payload
+            )
+
+    def test_waw_packet_size_validation_matches_scalar(self):
+        config = waw_wap_config(3, 3)
+        vector = make_vector_analysis(config)
+        too_big = config.min_packet_flits + 1
+        with pytest.raises(ValueError, match="minimum size"):
+            vector.wctt_grid_to(Coord(0, 0), packet_flits=too_big)
+
+
+class TestGridEvaluator:
+    def test_packet_size_variants_hit_the_cache(self):
+        evaluator = GridEvaluator()
+        scenario = Scenario.mesh(4).regular()
+        first = evaluator.summary(scenario, packet_flits=1)
+        second = evaluator.summary(scenario, packet_flits=3)
+        assert evaluator.misses == 1
+        assert evaluator.hits == 1
+        # And both variants still match a fresh scalar evaluation.
+        config = scenario.build()
+        flows = FlowSet.all_to_one(config.mesh, config.memory_controller)
+        analysis = make_wctt_analysis(config)
+        assert first == wctt_summary(analysis, flows, packet_flits=1)
+        assert second == wctt_summary(analysis, flows, packet_flits=3)
+
+    def test_waw_bound_is_packet_size_independent(self):
+        evaluator = GridEvaluator()
+        scenario = Scenario.mesh(3).waw_wap()
+        one = evaluator.summary(scenario, packet_flits=1)
+        also_one = evaluator.summary(scenario, packet_flits=1)
+        assert one == also_one
+        assert (evaluator.hits, evaluator.misses) == (1, 1)
+
+    def test_waw_oversized_packet_rejected_from_cache_path(self):
+        evaluator = GridEvaluator()
+        scenario = Scenario.mesh(3).waw_wap()
+        evaluator.summary(scenario)
+        config = scenario.build()
+        with pytest.raises(ValueError, match="minimum size"):
+            evaluator.summary(scenario, packet_flits=config.min_packet_flits + 1)
+
+    def test_dict_form_scenarios_accepted(self):
+        evaluator = GridEvaluator()
+        scenario = Scenario.mesh(3).waw_wap()
+        assert evaluator.summary(scenario.to_dict()) == evaluator.summary(scenario)
+
+
+class TestEvaluateGrid:
+    def test_mixed_grid_falls_back_and_stays_complete(self):
+        grid = [
+            Scenario.mesh(3).waw_wap(),
+            Scenario.mesh(3).waw_wap().topology("torus"),
+            Scenario.mesh(3).regular().topology("mesh", routing="yx"),
+        ]
+        assert vector_supported(grid[1].build()) is not None
+        summaries = evaluate_grid(grid)
+        assert len(summaries) == 3
+        for scenario, summary in zip(grid, summaries):
+            config = scenario.build()
+            flows = FlowSet.all_to_one(config.mesh, config.memory_controller)
+            assert summary == wctt_summary(make_wctt_analysis(config), flows)
+
+    def test_per_scenario_packet_sizes(self):
+        grid = sweep(Scenario.mesh(3), design=("regular", "regular"))
+        summaries = evaluate_grid(grid, packet_flits=[1, 4])
+        config = grid[0].build()
+        flows = FlowSet.all_to_one(config.mesh, config.memory_controller)
+        analysis = make_wctt_analysis(config)
+        assert summaries[0] == wctt_summary(analysis, flows, packet_flits=1)
+        assert summaries[1] == wctt_summary(analysis, flows, packet_flits=4)
+
+    def test_size_count_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="packet sizes"):
+            evaluate_grid([Scenario.mesh(3)], packet_flits=[1, 2])

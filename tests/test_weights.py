@@ -171,3 +171,91 @@ class TestWeightTable:
         table = WeightTable.from_closed_form(mesh)
         with pytest.raises(ValueError):
             table.counts(Coord(5, 5))
+
+
+class TestRoundRobinLookupRegression:
+    """The flow-aware round-robin weight must not re-derive the output's
+    flow tuple once per input port (the old quadratic pattern)."""
+
+    class _CountingFlows:
+        """Delegate that counts lookups into a wrapped FlowSet."""
+
+        def __init__(self, inner):
+            self._inner = inner
+            self.output_lookups = 0
+            self.input_lookups = 0
+
+        def flows_through_output(self, router, port):
+            self.output_lookups += 1
+            return self._inner.flows_through_output(router, port)
+
+        def flows_through_input(self, router, port):
+            self.input_lookups += 1
+            return self._inner.flows_through_input(router, port)
+
+    def test_one_output_lookup_per_call(self):
+        mesh = Mesh(4, 4)
+        flows = self._CountingFlows(FlowSet.all_to_one(mesh, Coord(0, 0)))
+        round_robin_weight(mesh, Coord(2, 2), Port.XPLUS, Port.XPLUS, flows)
+        assert flows.output_lookups == 1
+        # One membership probe per legal input, not per (input, flow) pair.
+        assert flows.input_lookups <= 5
+
+    def test_set_membership_matches_quadratic_reference(self):
+        """Identical Fractions to the old per-flow scan on all-to-one traffic."""
+        mesh = Mesh(4, 4)
+        flows = FlowSet.all_to_one(mesh, Coord(0, 0))
+        for router in mesh.nodes():
+            for out_port in mesh.output_ports(router):
+                through_output = flows.flows_through_output(router, out_port)
+                from repro.topology import as_topology
+
+                legal = as_topology(mesh).legal_inputs_for_output(router, out_port)
+                reference_active = [
+                    p
+                    for p in legal
+                    if any(
+                        f in through_output
+                        for f in flows.flows_through_input(router, p)
+                    )
+                ]
+                for in_port in mesh.input_ports(router):
+                    expected = (
+                        Fraction(1, len(reference_active))
+                        if reference_active and in_port in reference_active
+                        else Fraction(0)
+                    )
+                    assert (
+                        round_robin_weight(mesh, router, in_port, out_port, flows)
+                        == expected
+                    ), (router, in_port, out_port)
+
+
+class TestWeightTableCountsError:
+    def test_missing_router_error_names_origin_and_coverage(self):
+        mesh = Mesh(2, 2)
+        table = WeightTable(mesh, {Coord(0, 0): source_port_counts(mesh, Coord(0, 0))})
+        with pytest.raises(KeyError) as excinfo:
+            table.counts(Coord(1, 1))
+        message = str(excinfo.value)
+        assert "(1,1)" in message
+        assert "explicit per-router counts" in message
+        assert "1 of 4 routers" in message
+
+    def test_flow_set_origin_in_error(self):
+        mesh = Mesh(3, 3)
+        flows = FlowSet.all_to_one(mesh, Coord(0, 0))
+        full = WeightTable.from_flow_set(flows)
+        partial = WeightTable(
+            mesh,
+            {Coord(0, 0): full.counts(Coord(0, 0))},
+            origin=full.origin,
+        )
+        with pytest.raises(KeyError, match="flow set"):
+            partial.counts(Coord(2, 2))
+
+    def test_outside_mesh_still_value_error(self):
+        mesh = Mesh(2, 2)
+        table = WeightTable.from_closed_form(mesh)
+        with pytest.raises(ValueError):
+            table.counts(Coord(9, 9))
