@@ -111,14 +111,19 @@ from .faults import (
 
 from .service import ResultStore, StoreError, default_store_dir
 from .analysis import (
+    AnalysisBackend,
+    HolisticAnalysis,
+    TrajectoryAnalysis,
+    available_analysis_backends,
     evaluate_grid,
+    make_analysis_backend,
     make_vector_analysis,
     vector_supported,
     vector_wctt_map,
     vector_wctt_summary,
 )
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 #: Service entry points resolved lazily (they pull in asyncio machinery
 #: that most library users never touch).
@@ -197,6 +202,11 @@ __all__ = [
     "get_experiment",
     "list_experiments",
     "sweep",
+    "AnalysisBackend",
+    "HolisticAnalysis",
+    "TrajectoryAnalysis",
+    "available_analysis_backends",
+    "make_analysis_backend",
     "ResultStore",
     "StoreError",
     "default_store_dir",

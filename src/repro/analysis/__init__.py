@@ -1,6 +1,16 @@
-"""Analysis utilities: bound validation, report formatting and the
-numpy-vectorized batch evaluator (:mod:`repro.analysis.vector`)."""
+"""Analysis utilities: the pluggable :class:`AnalysisBackend` registry with
+the competing flow-aware analyses (:mod:`repro.analysis.flowaware`), bound
+validation, report formatting and the numpy-vectorized batch evaluator
+(:mod:`repro.analysis.vector`)."""
 
+from .backends import (
+    AnalysisBackend,
+    available_analysis_backends,
+    make_analysis_backend,
+    normalize_analysis_backend_name,
+    register_analysis_backend,
+)
+from .flowaware import FlowAwareWCTTAnalysis, HolisticAnalysis, TrajectoryAnalysis
 from .reporting import format_grid, format_key_values, format_table, format_title
 from .validation import BoundValidationResult, validate_design, validate_flow_bound
 from .vector import (
@@ -16,6 +26,14 @@ from .vector import (
 )
 
 __all__ = [
+    "AnalysisBackend",
+    "available_analysis_backends",
+    "make_analysis_backend",
+    "normalize_analysis_backend_name",
+    "register_analysis_backend",
+    "FlowAwareWCTTAnalysis",
+    "HolisticAnalysis",
+    "TrajectoryAnalysis",
     "format_grid",
     "format_key_values",
     "format_table",

@@ -175,6 +175,35 @@ class Scenario:
         return self._with(backend=canonical)
 
     # ------------------------------------------------------------------
+    # Analysis backend selection
+    # ------------------------------------------------------------------
+    def analysis(self, name: Optional[str]) -> "Scenario":
+        """Select the analysis backend bounding this design point's WCTTs.
+
+        ``name`` is a registered :mod:`repro.analysis` backend (``regular``,
+        ``weighted``, ``holistic``, ``trajectory``, ``vector``); ``None``
+        removes the selection again, restoring the default -- the paper's
+        analysis pair, dispatched on the design point.  Unlike the
+        simulation :meth:`backend`, the analysis choice *does* change
+        numbers: backends are competing bounds of different tightness (each
+        validated for soundness by ``tests/test_backend_soundness.py`` and
+        the ``bound_comparison`` experiment).
+        """
+        if name is None:
+            merged = dict(self._settings)
+            merged.pop("analysis", None)
+            return Scenario(merged)
+        from ..analysis.backends import normalize_analysis_backend_name
+
+        try:
+            canonical = normalize_analysis_backend_name(name)
+        except ValueError as exc:
+            raise ScenarioError(str(exc)) from None
+        except TypeError:
+            raise ScenarioError(f"analysis must be a name string, got {name!r}") from None
+        return self._with(analysis=canonical)
+
+    # ------------------------------------------------------------------
     # Knobs
     # ------------------------------------------------------------------
     def max_packet_flits(self, flits: int) -> "Scenario":
@@ -268,6 +297,8 @@ class Scenario:
             parts.append(f"b{s['buffer_depth']}")
         if s.get("backend", "cycle") != "cycle":
             parts.append(s["backend"])
+        if "analysis" in s:
+            parts.append(s["analysis"])
         if "fault_model" in s:
             parts.append(s["fault_model"].label_token())
         return "-".join(parts)
@@ -290,6 +321,7 @@ class Scenario:
             "routing",
             "concentration",
             "backend",
+            "analysis",
             "max_packet_flits",
             "min_packet_flits",
             "buffer_depth",
@@ -351,6 +383,8 @@ class Scenario:
             )
         if "backend" in remaining:
             scenario = scenario.backend(remaining.pop("backend"))
+        if "analysis" in remaining:
+            scenario = scenario.analysis(remaining.pop("analysis"))
         for key in ("max_packet_flits", "min_packet_flits", "buffer_depth"):
             if key in remaining:
                 scenario = getattr(scenario, key)(remaining.pop(key))
@@ -500,6 +534,7 @@ _SWEEP_AXES = {
     "design": lambda sc, v: sc.design(v),
     "topology": lambda sc, v: _apply_topology(sc, v),
     "backend": lambda sc, v: sc.backend(v),
+    "analysis": lambda sc, v: sc.analysis(v),
     "max_packet_flits": lambda sc, v: sc.max_packet_flits(v),
     "min_packet_flits": lambda sc, v: sc.min_packet_flits(v),
     "buffer_depth": lambda sc, v: sc.buffer_depth(v),
@@ -543,7 +578,9 @@ def sweep(base: Optional[Scenario] = None, **grid: Any) -> List[Scenario]:
     one axis of the grid and may be a single value or an iterable of values.
     Axes: ``mesh``, ``design``, ``topology`` (kind names or mappings like
     ``{"kind": "cmesh", "concentration": 2}``), ``backend`` (simulation
-    backend name, ``cycle`` or ``event``), ``max_packet_flits``,
+    backend name, ``cycle`` or ``event``), ``analysis`` (analysis backend
+    name, e.g. ``regular``/``weighted``/``holistic``/``trajectory``/
+    ``vector``), ``max_packet_flits``,
     ``min_packet_flits``, ``buffer_depth`` and ``memory_controller`` (an
     ``(x, y)`` pair).
 

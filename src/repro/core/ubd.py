@@ -77,6 +77,14 @@ class UBDTable:
     route walks) and falls back to the scalar analysis otherwise;
     ``"scalar"`` forces the reference path.  Both fill the table with
     bit-identical values (``tests/test_differential_analysis.py``).
+
+    ``backend`` selects a registered :class:`~repro.analysis.AnalysisBackend`
+    by name (``regular``, ``weighted``, ``holistic``, ``trajectory``,
+    ``vector``) to compute the WCTT legs with; the default ``None`` keeps
+    the paper's analysis for the design point.  The analysis is built over
+    the table's request/reply memory-traffic flow set, so flow-aware
+    backends bound exactly the traffic the table describes.  Mutually
+    exclusive with passing a ready ``analysis`` object.
     """
 
     def __init__(
@@ -87,13 +95,18 @@ class UBDTable:
         analysis: Optional[AnalysisType] = None,
         weight_table: Optional[WeightTable] = None,
         engine: str = "auto",
+        backend: Optional[str] = None,
     ):
         if engine not in ("auto", "scalar"):
             raise ValueError(f"engine must be 'auto' or 'scalar', got {engine!r}")
         self.config = config
         self.engine = engine
         self.memory = memory if memory is not None else MemoryTiming()
-        if analysis is not None:
+        if backend is not None and analysis is not None:
+            raise ValueError("pass either backend= or analysis=, not both")
+        if backend is not None:
+            self.analysis = self._backend_analysis(backend, weight_table)
+        elif analysis is not None:
             self.analysis: AnalysisType = analysis
         elif config.is_waw_wap and weight_table is None:
             # The UBD table describes memory traffic (cores <-> memory
@@ -107,6 +120,36 @@ class UBDTable:
             self.analysis = make_wctt_analysis(config, weight_table=weight_table)
         self._entries: Dict[Coord, UBDEntry] = {}
         self._build()
+
+    # ------------------------------------------------------------------
+    def _backend_analysis(self, backend: str, weight_table: Optional[WeightTable]):
+        """Resolve ``backend=`` into an analysis over the memory flow set."""
+        # Imported lazily: repro.analysis depends on this module.
+        from ..analysis.backends import make_analysis_backend
+
+        resolved = make_analysis_backend(backend)
+        resolved.require(self.config)
+        if resolved.name == "vector":
+            # The vector engine is the bit-identical fast path of the paper's
+            # pair; the table uses the same scalar analysis object and lets
+            # the (already required-supported) auto vector build fill it.
+            if self.config.is_waw_wap and weight_table is None:
+                from .wctt_weighted import WaWWaPWCTTAnalysis
+
+                return WaWWaPWCTTAnalysis.for_memory_traffic(self.config)
+            return make_wctt_analysis(self.config, weight_table=weight_table)
+        from .flows import FlowSet
+
+        mesh = self.config.mesh
+        mc = self.config.memory_controller
+        pairs = [(src, mc) for src in mesh.nodes() if src != mc]
+        pairs += [(mc, dst) for dst in mesh.nodes() if dst != mc]
+        flow_set = FlowSet.from_pairs(mesh, pairs)
+        if weight_table is None and self.config.is_waw:
+            weight_table = WeightTable.from_flow_set(flow_set)
+        return resolved.analysis(
+            self.config, flow_set=flow_set, weight_table=weight_table
+        )
 
     # ------------------------------------------------------------------
     def _build(self) -> None:

@@ -12,6 +12,7 @@ Module                    Paper artefact
 ``area_overhead``         Section III -- router area overhead (< 5 %)
 ``ablation_mechanisms``   (extension) WaP-only / WaW-only decomposition
 ``bound_validation``      (extension) analytical bounds vs simulation
+``bound_comparison``      (extension) competing analysis backends, tightness report
 ``reliability_sweep``     (extension) Monte-Carlo latency under link faults
 ``scenario_wctt``         (extension) WCTT summary of one arbitrary Scenario
 ``runner``                command-line front-end (``repro-experiments``)
@@ -22,6 +23,7 @@ from . import (
     ablation_mechanisms,
     area_overhead,
     avg_performance,
+    bound_comparison,
     bound_validation,
     fig2a_packet_size,
     fig2b_placement,
@@ -36,6 +38,7 @@ __all__ = [
     "ablation_mechanisms",
     "area_overhead",
     "avg_performance",
+    "bound_comparison",
     "bound_validation",
     "fig2a_packet_size",
     "fig2b_placement",

@@ -22,6 +22,9 @@ plus the analysis-service surface (:mod:`repro.service`)::
 ``--backend`` selects the simulation backend (``cycle`` or ``event``) for
 the experiments that drive the cycle-accurate simulator; both backends
 produce identical results, ``event`` skips idle cycles and is much faster.
+``--analysis`` selects the analysis backend (``regular``, ``weighted``,
+``holistic``, ``trajectory``, ``vector``) for the experiments that accept
+one (currently ``scenario_wctt``).
 
 The pre-subcommand invocation style keeps working: ``repro-experiments
 table2 fig2a``, ``repro-experiments --list`` and ``repro-experiments
@@ -36,6 +39,10 @@ import json
 import sys
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
+from ..analysis.backends import (
+    available_analysis_backends,
+    normalize_analysis_backend_name,
+)
 from ..analysis.reporting import format_key_values, format_table
 from ..api import (
     BatchEngine,
@@ -147,6 +154,46 @@ def _backend_params(name: str, backend: Optional[str]) -> Dict[str, Any]:
     return {"backend": backend}
 
 
+def _analysis_name(text: str) -> str:
+    """argparse type: resolve analysis-backend names and aliases."""
+    try:
+        return normalize_analysis_backend_name(text)
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(str(error))
+
+
+def _add_analysis_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--analysis", default=None, type=_analysis_name, metavar="NAME",
+        help=(
+            "analysis backend for the experiments that accept one "
+            f"({', '.join(available_analysis_backends())})"
+        ),
+    )
+
+
+def _analysis_params(name: str, analysis: Optional[str]) -> Dict[str, Any]:
+    """The run() params carrying ``--analysis`` to experiments that accept it."""
+    if analysis is None:
+        return {}
+    spec = get_experiment(name)
+    if not spec.supports_param("analysis"):
+        print(
+            f"note: {name} has a fixed analysis; --analysis {analysis} is "
+            "ignored for it",
+            file=sys.stderr,
+        )
+        return {}
+    return {"analysis": analysis}
+
+
+def _cli_params(name: str, args: argparse.Namespace) -> Dict[str, Any]:
+    """Merge every option-derived run() param for one experiment."""
+    params = _backend_params(name, args.backend)
+    params.update(_analysis_params(name, getattr(args, "analysis", None)))
+    return params
+
+
 def _add_engine_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--jobs", type=int, default=1, metavar="N",
@@ -214,6 +261,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="use smaller meshes / shorter simulations",
     )
     _add_backend_option(run_parser)
+    _add_analysis_option(run_parser)
     _add_engine_options(run_parser)
     _add_export_options(run_parser)
 
@@ -253,6 +301,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="apply the experiment's quick parameters to every design point",
     )
     _add_backend_option(sweep_parser)
+    _add_analysis_option(sweep_parser)
     _add_engine_options(sweep_parser)
     _add_export_options(sweep_parser)
 
@@ -330,6 +379,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="return tickets immediately instead of waiting for results",
     )
     _add_backend_option(submit_parser)
+    _add_analysis_option(submit_parser)
     _add_service_options(submit_parser)
     _add_export_options(submit_parser)
 
@@ -449,7 +499,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         [
             BatchJob(
                 experiment=name,
-                params=_backend_params(name, args.backend),
+                params=_cli_params(name, args),
                 quick=args.quick,
             )
             for name in names
@@ -516,7 +566,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         results = engine.sweep(
             args.experiment,
             quick=args.quick,
-            base_params=_backend_params(args.experiment, args.backend),
+            base_params=_cli_params(args.experiment, args),
             **axes,
         )
     except ValueError as error:
@@ -628,7 +678,7 @@ def _build_submit_jobs(args: argparse.Namespace) -> Optional[List[BatchJob]]:
         except UnknownExperimentError as error:
             print(str(error), file=sys.stderr)
             return None
-        base = _backend_params(name, args.backend)
+        base = _cli_params(name, args)
         names = list(axes)
         jobs: List[BatchJob] = []
         try:
@@ -651,7 +701,7 @@ def _build_submit_jobs(args: argparse.Namespace) -> Optional[List[BatchJob]]:
     if resolved is None:
         return None
     return [
-        BatchJob(experiment=name, params=_backend_params(name, args.backend), quick=args.quick)
+        BatchJob(experiment=name, params=_cli_params(name, args), quick=args.quick)
         for name in resolved
     ]
 

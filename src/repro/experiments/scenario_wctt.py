@@ -72,6 +72,7 @@ ENGINES = ("auto", "vector", "scalar")
         "packet_flits": lambda v: {"packet_flits": v},
         "scenario": lambda v: {"scenario": v.to_dict() if isinstance(v, Scenario) else v},
         "engine": lambda v: {"engine": v},
+        "analysis": lambda v: {"analysis": v},
     },
 )
 def run(
@@ -79,6 +80,7 @@ def run(
     scenario: Optional[Union[Scenario, Mapping[str, Any]]] = None,
     packet_flits: int = 1,
     engine: str = "auto",
+    analysis: Optional[str] = None,
 ) -> List[ScenarioWCTTPoint]:
     """Evaluate the WCTT bound summary for ``scenario``.
 
@@ -94,6 +96,14 @@ def run(
     path.  Both paths produce bit-identical summaries (enforced by
     ``tests/test_differential_analysis.py``), so the flag never changes
     results -- only throughput.
+
+    ``analysis`` selects a registered :class:`~repro.analysis.AnalysisBackend`
+    (``regular``, ``weighted``, ``holistic``, ``trajectory``, ``vector``)
+    instead of the paper's default dispatch; the scenario's own
+    ``Scenario.analysis(...)`` selection is honoured when the parameter is
+    left ``None``.  Unlike ``engine`` this *changes numbers* -- backends are
+    competing bounds -- so an explicit backend takes precedence over the
+    engine flag.
     """
     if engine not in ENGINES:
         raise ValueError(f"engine must be one of {ENGINES}, got {engine!r}")
@@ -107,20 +117,31 @@ def run(
         )
     config = scenario.build()
 
-    from ..analysis.vector import vector_supported, vector_wctt_summary
+    effective_analysis = analysis if analysis is not None else scenario.settings.get("analysis")
+    label = scenario.label()
+    if effective_analysis is not None:
+        from ..analysis.backends import make_analysis_backend
 
-    reason = vector_supported(config)
-    if engine == "vector" and reason is not None:
-        raise ValueError(f"engine='vector' cannot evaluate this scenario: {reason}")
-    if engine != "scalar" and reason is None:
-        summary = vector_wctt_summary(config, packet_flits=packet_flits)
+        backend = make_analysis_backend(effective_analysis)
+        backend.require(config)
+        summary = backend.wctt_summary(config, packet_flits=packet_flits)
+        if "analysis" not in scenario.settings:
+            label = f"{label}-{backend.name}"
     else:
-        flows = FlowSet.all_to_one(config.mesh, config.memory_controller)
-        analysis = make_wctt_analysis(config)
-        summary = wctt_summary(analysis, flows, packet_flits=packet_flits)
+        from ..analysis.vector import vector_supported, vector_wctt_summary
+
+        reason = vector_supported(config)
+        if engine == "vector" and reason is not None:
+            raise ValueError(f"engine='vector' cannot evaluate this scenario: {reason}")
+        if engine != "scalar" and reason is None:
+            summary = vector_wctt_summary(config, packet_flits=packet_flits)
+        else:
+            flows = FlowSet.all_to_one(config.mesh, config.memory_controller)
+            analysis_obj = make_wctt_analysis(config)
+            summary = wctt_summary(analysis_obj, flows, packet_flits=packet_flits)
     return [
         ScenarioWCTTPoint(
-            label=scenario.label(),
+            label=label,
             design=summary.design,
             topology=config.topology.short_label(),
             nodes=config.mesh.num_nodes,
@@ -138,11 +159,19 @@ def report(
     scenario: Optional[Union[Scenario, Mapping[str, Any]]] = None,
     packet_flits: int = 1,
     engine: str = "auto",
+    analysis: Optional[str] = None,
 ) -> str:
     points = (
         unwrap(points)
         if points is not None
-        else unwrap(run(scenario=scenario, packet_flits=packet_flits, engine=engine))
+        else unwrap(
+            run(
+                scenario=scenario,
+                packet_flits=packet_flits,
+                engine=engine,
+                analysis=analysis,
+            )
+        )
     )
     title = format_title("WCTT bound summary (all-to-one memory traffic)")
     table = format_table([p.as_dict() for p in points])

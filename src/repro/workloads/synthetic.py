@@ -116,6 +116,11 @@ class AdversarialCongestionTraffic:
     background_outstanding: int = 4
     probe_period: int = 200
     payload_flits: int = 1
+    #: Optional allow-list of background sources.  ``None`` (default) lets
+    #: every overlapping node interfere; a list restricts the adversary to a
+    #: known workload's sources (the ``bound_comparison`` experiment uses
+    #: this to simulate sparse workloads matching a flow-aware analysis).
+    background_sources: Optional[List[Coord]] = None
 
     def __post_init__(self) -> None:
         self.mesh.require(self.victim_source)
@@ -124,6 +129,9 @@ class AdversarialCongestionTraffic:
             raise ValueError("victim source and destination coincide")
         if self.background_outstanding < 1 or self.probe_period < 1:
             raise ValueError("invalid adversarial traffic parameters")
+        if self.background_sources is not None:
+            for node in self.background_sources:
+                self.mesh.require(node)
 
     # ------------------------------------------------------------------
     def interfering_sources(self) -> List[Coord]:
@@ -132,9 +140,14 @@ class AdversarialCongestionTraffic:
             (hop.router, hop.out_port)
             for hop in xy_route(self.mesh, self.victim_source, self.victim_destination)
         }
+        allowed = (
+            None if self.background_sources is None else set(self.background_sources)
+        )
         sources = []
         for node in self.mesh.nodes():
             if node in (self.victim_source, self.victim_destination):
+                continue
+            if allowed is not None and node not in allowed:
                 continue
             links = {
                 (hop.router, hop.out_port)

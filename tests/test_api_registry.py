@@ -20,7 +20,7 @@ from repro.api import (
 ALL_EXPERIMENTS = {
     "table1", "table2", "table3", "fig2a", "fig2b",
     "avgperf", "area", "ablation", "validation", "reliability_sweep",
-    "scenario_wctt",
+    "scenario_wctt", "bound_comparison",
 }
 
 #: Small-but-representative parameters so the full-suite round trip is fast.
@@ -41,11 +41,15 @@ FAST_PARAMS = {
         "mesh_size": 3, "fault_rates": (0.0, 0.01), "trials": 2,
         "scale": 0.004, "background": 2,
     },
+    "bound_comparison": {
+        "mesh_sizes": (3,), "topologies": ("mesh",), "workloads": ("full",),
+        "payload_sizes": (1,), "congestion_cycles": 300,
+    },
 }
 
 
 class TestDiscovery:
-    def test_all_eleven_experiments_registered(self):
+    def test_all_twelve_experiments_registered(self):
         assert {spec.name for spec in list_experiments()} == ALL_EXPERIMENTS
 
     def test_specs_carry_metadata(self):

@@ -1,0 +1,175 @@
+"""Soundness of every registered analysis backend against simulation.
+
+Hypothesis draws random design points, victim flows and (possibly sparse)
+interfering workloads; for each one the cycle-accurate simulator runs the
+most adversarial congestion it can express and every backend that declares
+itself applicable must bound the worst observed probe traversal.
+
+The second half checks the blind-analysis discipline of the
+``bound_comparison`` experiment (the STAR isobar methodology,
+arXiv:1911.00596): the held-out subset is simulated *before* the full grid,
+and an unsound backend aborts the run without the comparison numbers ever
+being computed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.backends import (
+    AnalysisBackend,
+    available_analysis_backends,
+    make_analysis_backend,
+)
+from repro.core import FlowSet, WeightTable, regular_mesh_config, waw_wap_config
+from repro.experiments import bound_comparison
+from repro.geometry import Coord
+from repro.noc.network import Network
+from repro.workloads.synthetic import AdversarialCongestionTraffic
+
+CONFIG_FNS = {"regular": regular_mesh_config, "waw_wap": waw_wap_config}
+
+
+@st.composite
+def design_points(draw):
+    """(config, victim, background sources or None) of one random scenario."""
+    width = draw(st.integers(min_value=2, max_value=4))
+    height = draw(st.integers(min_value=2, max_value=4))
+    design = draw(st.sampled_from(sorted(CONFIG_FNS)))
+    config = CONFIG_FNS[design](width, height)
+    dst = config.memory_controller
+    sources = [n for n in config.mesh.nodes() if n != dst]
+    victim = draw(st.sampled_from(sources))
+    if draw(st.booleans()):
+        background = None  # full adversarial workload
+    else:
+        picked = draw(st.sets(st.sampled_from(sources), max_size=len(sources)))
+        background = sorted(picked | {victim})
+    return config, victim, background
+
+
+def _observed_worst(config, victim, background, *, weights, cycles=400):
+    network = Network(config, weight_table=weights)
+    traffic = AdversarialCongestionTraffic(
+        mesh=config.mesh,
+        victim_source=victim,
+        victim_destination=config.memory_controller,
+        background_sources=background,
+    )
+    return traffic.worst_probe_latency(network, cycles)
+
+
+class TestRandomizedSoundness:
+    @settings(max_examples=12, deadline=None)
+    @given(point=design_points())
+    def test_every_applicable_backend_bounds_the_simulation(self, point):
+        config, victim, background = point
+        dst = config.memory_controller
+        weights = (
+            WeightTable.from_flow_set(FlowSet.all_to_one(config.mesh, dst))
+            if config.is_waw
+            else None
+        )
+        observed = _observed_worst(config, victim, background, weights=weights)
+        checked = 0
+        for name in available_analysis_backends():
+            backend = make_analysis_backend(name)
+            if backend.supports(config) is not None:
+                continue
+            bound = backend.validation_bound(
+                config, victim, dst, weight_table=weights
+            )
+            assert bound >= observed, (
+                f"backend {name!r} bound {bound} < observed {observed} for "
+                f"{config.describe()}, flow {victim}->{dst}, "
+                f"background {background}"
+            )
+            checked += 1
+        assert checked >= 2  # paper bound + both flow-aware lenses at least
+
+
+class _UnsoundBackend(AnalysisBackend):
+    """Deliberately broken: bounds everything by one cycle."""
+
+    name = "unsound-test-backend"
+    description = "test double"
+
+    def validation_analysis(self, config, **kwargs):
+        class _One:
+            @staticmethod
+            def wctt_packet(source, destination, *, packet_flits=None):
+                return 1
+
+            @staticmethod
+            def wctt_message(source, destination, *, payload_flits):
+                return 1
+
+        return _One()
+
+
+class TestBlindAnalysisDiscipline:
+    def test_holdout_is_simulated_before_the_full_grid(self, monkeypatch):
+        evaluated = []
+        real = bound_comparison._evaluate_job
+
+        def tracking(job):
+            evaluated.append(job)
+            return real(job)
+
+        monkeypatch.setattr(bound_comparison, "_evaluate_job", tracking)
+        bound_comparison.run(
+            mesh_sizes=(2,),
+            topologies=("mesh",),
+            designs=("regular",),
+            workloads=("full",),
+            payload_sizes=(1,),
+            congestion_cycles=300,
+        )
+        specs = bound_comparison._grid_jobs(
+            (2,), ("mesh",), ("regular",), ("full",), (1,), 300
+        )
+        holdout = [s for i, s in enumerate(specs) if i % 3 == 0]
+        assert evaluated[: len(holdout)] == holdout
+
+    def test_unsound_backend_aborts_before_the_comparison(self, monkeypatch):
+        from repro.analysis import backends as backends_module
+
+        monkeypatch.setitem(
+            backends_module._REGISTRY, _UnsoundBackend.name, _UnsoundBackend
+        )
+        monkeypatch.setitem(
+            bound_comparison.DESIGN_BACKENDS,
+            "regular",
+            ("regular", _UnsoundBackend.name),
+        )
+        evaluated = []
+        real = bound_comparison._evaluate_job
+
+        def tracking(job):
+            evaluated.append(job)
+            return real(job)
+
+        monkeypatch.setattr(bound_comparison, "_evaluate_job", tracking)
+        try:
+            with pytest.raises(
+                bound_comparison.SoundnessViolation, match="held-out"
+            ):
+                bound_comparison.run(
+                    mesh_sizes=(3,),
+                    topologies=("mesh",),
+                    designs=("regular",),
+                    workloads=("full",),
+                    payload_sizes=(1,),
+                    congestion_cycles=300,
+                )
+        finally:
+            backends_module._INSTANCES.pop(_UnsoundBackend.name, None)
+        specs = bound_comparison._grid_jobs(
+            (3,), ("mesh",), ("regular",), ("full",), (1,), 300
+        )
+        holdout_size = len([s for i, s in enumerate(specs) if i % 3 == 0])
+        assert len(evaluated) == holdout_size  # the full grid never ran

@@ -44,6 +44,7 @@ from repro.core import (
 from repro.core.config import RouterTiming
 from repro.core.ubd import MemoryTiming
 from repro.core.wctt_weighted import WaWWaPWCTTAnalysis
+from repro.analysis.backends import make_analysis_backend
 from repro.experiments import scenario_wctt
 from repro.geometry import Coord, Mesh, Port
 from repro.topology import ConcentratedMesh
@@ -283,3 +284,72 @@ class TestSupportPredicate:
         yx = Scenario.mesh(4).regular().topology("mesh", routing="yx").build()
         with pytest.raises(ValueError, match="not vectorizable"):
             VectorRegularAnalysis(yx)
+
+
+class TestAnalysisBackendParity:
+    """Refactor safety: the paper analyses routed through AnalysisBackend
+    must stay bit-identical to the direct ``core.wctt_*`` calls."""
+
+    BACKEND_FOR_DESIGN = {"regular": "regular", "waw_wap": "weighted"}
+
+    @pytest.mark.parametrize("width,height", MESHES)
+    @pytest.mark.parametrize("design", ["regular", "waw_wap"])
+    def test_packet_maps_bit_identical(self, width, height, design):
+        config = CONFIG_FNS[design](width, height)
+        backend = make_analysis_backend(self.BACKEND_FOR_DESIGN[design])
+        direct = make_wctt_analysis(config)
+        for destination in _destinations(config.mesh):
+            assert backend.wctt_map(config, destination) == wctt_map(
+                direct, destination
+            )
+
+    @pytest.mark.parametrize("width,height", MESHES)
+    @pytest.mark.parametrize("design", ["regular", "waw_wap"])
+    def test_summaries_bit_identical(self, width, height, design):
+        config = CONFIG_FNS[design](width, height)
+        backend = make_analysis_backend(self.BACKEND_FOR_DESIGN[design])
+        flows = FlowSet.all_to_one(config.mesh, config.memory_controller)
+        assert backend.wctt_summary(config) == wctt_summary(
+            make_wctt_analysis(config), flows
+        )
+
+    @pytest.mark.parametrize("width,height", MESHES)
+    @pytest.mark.parametrize("payload", [1, 4])
+    def test_messages_bit_identical(self, width, height, payload):
+        for design, name in self.BACKEND_FOR_DESIGN.items():
+            config = CONFIG_FNS[design](width, height)
+            backend = make_analysis_backend(name)
+            direct = make_wctt_analysis(config)
+            mc = config.memory_controller
+            for node in _destinations(config.mesh):
+                if node == mc:
+                    continue
+                assert backend.wctt_message(
+                    config, node, mc, payload_flits=payload
+                ) == direct.wctt_message(node, mc, payload_flits=payload), design
+
+    @pytest.mark.parametrize("width,height", MESHES)
+    @pytest.mark.parametrize("design", ["regular", "waw_wap"])
+    def test_vector_backend_matches_paper_backend(self, width, height, design):
+        config = CONFIG_FNS[design](width, height)
+        paper = make_analysis_backend(self.BACKEND_FOR_DESIGN[design])
+        vector = make_analysis_backend("vector")
+        assert vector.supports(config) is None
+        for destination in _destinations(config.mesh):
+            assert vector.wctt_map(config, destination) == paper.wctt_map(
+                config, destination
+            )
+        assert vector.wctt_summary(config) == paper.wctt_summary(config)
+
+    @pytest.mark.parametrize("backend", ["weighted", "vector"])
+    def test_ubd_backend_bit_identical(self, backend):
+        config = waw_wap_config(4, 4)
+        assert (
+            UBDTable(config, backend=backend).as_dict() == UBDTable(config).as_dict()
+        )
+
+    def test_ubd_regular_backend_bit_identical(self):
+        config = regular_mesh_config(3, 3)
+        assert (
+            UBDTable(config, backend="regular").as_dict() == UBDTable(config).as_dict()
+        )

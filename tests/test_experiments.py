@@ -213,7 +213,7 @@ class TestRunner:
         assert set(EXPERIMENTS) == {
             "table1", "table2", "table3", "fig2a", "fig2b",
             "avgperf", "area", "ablation", "validation", "reliability_sweep",
-            "scenario_wctt",
+            "scenario_wctt", "bound_comparison",
         }
         for name, spec in EXPERIMENTS.items():
             assert spec["description"]
