@@ -1,0 +1,88 @@
+"""Benchmark: campaign resume throughput against cold computation.
+
+One question, recorded in ``BENCH_campaign.json`` at the repository root:
+how much faster a fully-checkpointed campaign resumes than it computed
+cold.  The campaign promise is "interrupt at any point, resume with zero
+recomputation" -- a resume replays shard checkpoints from the durable
+store, so its per-shard cost must be store-read latency, not analysis
+time.  The run asserts at least a 5x shard-throughput advantage.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+
+from repro.api import Scenario, sweep_jobs
+from repro.campaign import Campaign
+from repro.service import ResultStore
+
+BENCH_JSON = os.path.join(os.path.dirname(__file__), "..", "BENCH_campaign.json")
+
+_RECORD = {}
+
+
+def _write_record() -> None:
+    with open(BENCH_JSON, "w", encoding="utf-8") as handle:
+        json.dump(_RECORD, handle, indent=2)
+        handle.write("\n")
+
+
+def _grid():
+    # Full (non-quick) scenario analyses on moderate meshes: heavy enough
+    # that cold compute dominates the store reads a resume pays for.
+    return sweep_jobs(
+        Scenario.mesh(6),
+        design=("regular", "waw_wap"),
+        max_packet_flits=(1, 2, 4),
+    )
+
+
+def bench_resume_vs_cold_shard_throughput(benchmark):
+    """Resuming a checkpointed campaign must beat cold compute >= 5x."""
+    store_root = tempfile.mkdtemp(prefix="repro-bench-campaign-")
+    jobs = _grid()
+
+    cold = Campaign(jobs, name="bench", shard_size=2, holdout=1,
+                    store=ResultStore(store_root))
+    start = time.perf_counter()
+    cold_report = cold.run()
+    cold_seconds = time.perf_counter() - start
+    assert cold_report.timing()["resumed_shards"] == 0
+    shards = cold_report.summary()["shards"]
+
+    resume_seconds = []
+
+    def resume():
+        store = ResultStore(store_root)
+        campaign = Campaign(jobs, name="bench", shard_size=2, holdout=1,
+                            store=store)
+        start = time.perf_counter()
+        report = campaign.run()
+        resume_seconds.append(time.perf_counter() - start)
+        assert report.timing()["resumed_shards"] == shards
+        assert store.writes == 0  # zero recomputation, zero rewrites
+
+    benchmark.pedantic(resume, rounds=5, iterations=1)
+
+    best_resume = min(resume_seconds)
+    speedup = cold_seconds / best_resume
+    assert speedup >= 5.0, (
+        f"campaign resume ({best_resume:.4f}s) is only {speedup:.1f}x faster "
+        f"than the cold run ({cold_seconds:.4f}s)"
+    )
+    _RECORD["resume"] = {
+        "benchmark": f"{len(jobs)}-point scenario_wctt campaign in {shards} "
+        "shards: cold run vs fully-checkpointed resume",
+        "design_points": len(jobs),
+        "shards": shards,
+        "cold_seconds": round(cold_seconds, 4),
+        "cold_shards_per_second": round(shards / cold_seconds, 2),
+        "resume_seconds": round(best_resume, 4),
+        "resume_shards_per_second": round(shards / best_resume, 2),
+        "resume_speedup": round(speedup, 1),
+    }
+    _write_record()
+    benchmark.extra_info.update(_RECORD["resume"])

@@ -29,7 +29,13 @@ The package is organised in seven layers:
 * :mod:`repro.service` -- analysis as a service: a persistent daemon
   (``repro-experiments serve``) with an async job queue, request
   coalescing/dedup and the durable content-addressed :class:`ResultStore`
-  shared with the batch engine.
+  shared with the batch engine;
+* :mod:`repro.campaign` -- sharded, resumable sweep campaigns: a
+  :class:`Campaign` chunks a job grid into content-addressed shards,
+  checkpoints each one to the shared store (interrupt and resume with zero
+  recomputation), blind-validates a held-out shard subset before unblinding
+  the full result set, and emits a versioned structured
+  :class:`CampaignReport`.
 
 Quick start::
 
@@ -70,6 +76,7 @@ from .api import (
     get_experiment,
     list_experiments,
     sweep,
+    sweep_jobs,
 )
 from .core import (
     ArbitrationPolicy,
@@ -110,6 +117,7 @@ from .faults import (
 )
 
 from .service import ResultStore, StoreError, default_store_dir
+from .campaign import Campaign, CampaignError, CampaignReport, HoldoutViolation
 from .analysis import (
     AnalysisBackend,
     HolisticAnalysis,
@@ -123,7 +131,7 @@ from .analysis import (
     vector_wctt_summary,
 )
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 #: Service entry points resolved lazily (they pull in asyncio machinery
 #: that most library users never touch).
@@ -202,6 +210,11 @@ __all__ = [
     "get_experiment",
     "list_experiments",
     "sweep",
+    "sweep_jobs",
+    "Campaign",
+    "CampaignError",
+    "CampaignReport",
+    "HoldoutViolation",
     "AnalysisBackend",
     "HolisticAnalysis",
     "TrajectoryAnalysis",

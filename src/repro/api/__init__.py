@@ -35,7 +35,7 @@ from .registry import (
     list_experiments,
 )
 from .results import ExperimentResult, ResultEncoder, unwrap
-from .scenario import Scenario, ScenarioError, sweep
+from .scenario import Scenario, ScenarioError, sweep, sweep_jobs
 
 __all__ = [
     "BatchEngine",
@@ -54,4 +54,5 @@ __all__ = [
     "Scenario",
     "ScenarioError",
     "sweep",
+    "sweep_jobs",
 ]

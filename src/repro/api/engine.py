@@ -35,7 +35,14 @@ from .results import ExperimentResult, ResultEncoder, _plain
 # repro.api.results, so the submodule must already be in sys.modules.
 from ..service.store import ResultStore
 
-__all__ = ["BatchJob", "BatchResult", "BatchEngine", "config_hash", "map_jobs"]
+__all__ = [
+    "BatchJob",
+    "BatchResult",
+    "BatchEngine",
+    "config_hash",
+    "map_jobs",
+    "safe_execute_job",
+]
 
 
 def map_jobs(fn, items: Sequence[Any], *, jobs: int = 1) -> List[Any]:
@@ -79,19 +86,33 @@ class BatchJob:
 
 @dataclass
 class BatchResult:
-    """Outcome of one job: the result plus provenance metadata."""
+    """Outcome of one job: the result plus provenance metadata.
+
+    ``error`` is ``None`` for a successful run; a failed design point
+    carries the captured worker-side failure description instead (and an
+    empty placeholder result), so one raising job can never discard its
+    completed siblings' results.
+    """
 
     job: BatchJob
     result: ExperimentResult
     config_hash: str
     cached: bool
     duration_seconds: float
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        """True when the job completed without a captured failure."""
+        return self.error is None
 
     def to_dict(self) -> Dict[str, Any]:
         data = self.result.to_dict()
         data["config_hash"] = self.config_hash
         data["cached"] = self.cached
         data["duration_seconds"] = round(self.duration_seconds, 6)
+        if self.error is not None:
+            data["error"] = self.error
         return data
 
 
@@ -144,6 +165,33 @@ def _execute_job(job: BatchJob) -> Tuple[ExperimentResult, float]:
     start = time.perf_counter()
     result = spec.run(quick=job.quick, **dict(job.params))
     return result, time.perf_counter() - start
+
+
+def safe_execute_job(job: BatchJob) -> Tuple[str, Any, float]:
+    """Pool-worker entry point that captures per-job failures.
+
+    Returns ``("ok", result, seconds)`` or ``("error", description,
+    seconds)``; the description is a pickle-safe string, so a raising
+    design point travels back through the :mod:`multiprocessing` pool as a
+    recorded failure instead of poisoning the whole ``pool.map`` call (which
+    would discard every completed sibling result).
+    """
+    start = time.perf_counter()
+    try:
+        result, duration = _execute_job(job)
+        return ("ok", result, duration)
+    except Exception as exc:  # noqa: BLE001 - captured as the job's outcome
+        return ("error", f"{type(exc).__name__}: {exc}", time.perf_counter() - start)
+
+
+def _failure_result(job: BatchJob, error: str) -> ExperimentResult:
+    """The empty placeholder result recorded for a failed design point."""
+    return ExperimentResult(
+        experiment=job.experiment,
+        payload=[],
+        params=dict(job.params),
+        description=f"failed: {error}",
+    )
 
 
 class BatchEngine:
@@ -209,7 +257,22 @@ class BatchEngine:
 
         unique_jobs = [(digest, jobs[indices[0]]) for digest, indices in pending.items()]
         computed = self._compute([job for _, job in unique_jobs])
-        for (digest, job), (result, duration) in zip(unique_jobs, computed):
+        for (digest, job), (status, payload, duration) in zip(unique_jobs, computed):
+            if status != "ok":
+                # A raising design point becomes a recorded failed outcome;
+                # failures are never cached, so a resubmission retries.
+                error = str(payload)
+                for position, index in enumerate(pending[digest]):
+                    results[index] = BatchResult(
+                        job=jobs[index],
+                        result=_failure_result(jobs[index], error),
+                        config_hash=digest,
+                        cached=position > 0,
+                        duration_seconds=duration if position == 0 else 0.0,
+                        error=error,
+                    )
+                continue
+            result = payload
             if self.use_cache:
                 self._cache_store(digest, result, duration)
             for position, index in enumerate(pending[digest]):
@@ -317,7 +380,12 @@ class BatchEngine:
             return hit
         if self.store is None:
             return None
-        return self.store.get(digest)
+        hit = self.store.get(digest)
+        if hit is not None:
+            # Promote the disk hit so repeated lookups of the same digest
+            # stop re-reading and re-parsing the JSON file.
+            self._memory_cache[digest] = hit
+        return hit
 
     def _cache_store(
         self, digest: str, result: ExperimentResult, duration: float = 0.0
@@ -326,5 +394,5 @@ class BatchEngine:
         if self.store is not None:
             self.store.put(digest, result, duration_seconds=duration)
 
-    def _compute(self, jobs: List[BatchJob]) -> List[Tuple[ExperimentResult, float]]:
-        return map_jobs(_execute_job, jobs, jobs=self.jobs)
+    def _compute(self, jobs: List[BatchJob]) -> List[Tuple[str, Any, float]]:
+        return map_jobs(safe_execute_job, jobs, jobs=self.jobs)

@@ -47,7 +47,7 @@ from ..geometry import Coord, Mesh
 from ..sim import normalize_backend_name
 from ..topology import make_topology
 
-__all__ = ["Scenario", "ScenarioError", "sweep"]
+__all__ = ["Scenario", "ScenarioError", "sweep", "sweep_jobs"]
 
 
 class ScenarioError(ValueError):
@@ -620,6 +620,28 @@ def sweep(base: Optional[Scenario] = None, **grid: Any) -> List[Scenario]:
                 scenario = _SWEEP_AXES[name](scenario, value)
         scenarios.append(scenario)
     return scenarios
+
+
+def sweep_jobs(
+    base: Optional[Scenario] = None,
+    *,
+    experiment: str = "scenario_wctt",
+    quick: bool = False,
+    **grid: Any,
+) -> List["BatchJob"]:
+    """Expand sweep axes straight into :class:`~repro.api.BatchJob` values.
+
+    ``sweep_jobs(base, **grid)`` is ``[sc.as_job(experiment, quick=quick)
+    for sc in sweep(base, **grid)]`` -- the job-grid form consumed by the
+    :class:`~repro.api.BatchEngine`, the analysis daemon and
+    :class:`repro.campaign.Campaign`.  Expansion order (and therefore the
+    campaign shard layout) is the deterministic row-major order of
+    :func:`sweep`.
+    """
+    return [
+        scenario.as_job(experiment, quick=quick)
+        for scenario in sweep(base, **grid)
+    ]
 
 
 def _axis_values(name: str, values: Any) -> List[Any]:

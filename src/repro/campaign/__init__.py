@@ -1,0 +1,43 @@
+"""Campaign layer: sharded, resumable, blind-validated sweep campaigns.
+
+Builds on :mod:`repro.api` (jobs, engine, sweeps) and :mod:`repro.service`
+(the durable result store, optionally a running daemon) to run large design
+-space sweeps as *campaigns*:
+
+>>> from repro.campaign import Campaign
+>>> campaign = Campaign.from_grid(mesh=(2, 3), design=("regular", "waw_wap"),
+...                               name="demo", shard_size=2, holdout=1,
+...                               store=store)      # doctest: +SKIP
+>>> report = campaign.run()                         # doctest: +SKIP
+>>> print(report.render())                          # doctest: +SKIP
+
+See :mod:`repro.campaign.campaign` for the execution model (checkpointed
+shards, resume semantics, held-out blind validation),
+:mod:`repro.campaign.sharding` for the deterministic shard layout and
+:mod:`repro.campaign.report` for the structured report.
+"""
+
+from .campaign import (
+    CHECKPOINT_EXPERIMENT,
+    MANIFEST_FORMAT,
+    Campaign,
+    CampaignError,
+    HoldoutViolation,
+)
+from .report import REPORT_FORMAT, CampaignReport
+from .sharding import ROLE_BLIND, ROLE_HOLDOUT, Shard, make_shards, shard_id_for
+
+__all__ = [
+    "Campaign",
+    "CampaignError",
+    "CampaignReport",
+    "HoldoutViolation",
+    "Shard",
+    "make_shards",
+    "shard_id_for",
+    "CHECKPOINT_EXPERIMENT",
+    "MANIFEST_FORMAT",
+    "REPORT_FORMAT",
+    "ROLE_BLIND",
+    "ROLE_HOLDOUT",
+]

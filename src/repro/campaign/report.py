@@ -1,0 +1,289 @@
+"""The versioned, structured campaign report.
+
+A :class:`CampaignReport` is the machine-parseable record of one campaign
+run -- modeled on run-segmented DAQ/correlator run reports (one provenance
+record per work segment plus a campaign-level summary):
+
+* :meth:`CampaignReport.to_dict` is the full JSON form: summary statistics,
+  per-shard provenance (config hashes, durations, worker counts, executor,
+  resumed-from-store flags), the failed-point inventory, anomaly notes and
+  a ``report_format`` version tag;
+* :meth:`CampaignReport.result_set` is the deterministic projection of the
+  same data: everything timing- and provenance-dependent (durations, worker
+  counts, ``resumed``/``cached`` flags, package version, store path) is
+  stripped, so an interrupted-and-resumed campaign produces a byte-identical
+  result set to an uninterrupted run (``tests/test_campaign.py`` enforces
+  this, and ``tests/golden/campaign/report.json`` pins the shape);
+* :meth:`CampaignReport.render` is the human-readable rendering.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..analysis.reporting import format_key_values, format_table, format_title
+from ..api.results import ResultEncoder
+
+__all__ = ["CampaignReport", "REPORT_FORMAT"]
+
+#: Format tag written into every report (bump on incompatible layout).
+REPORT_FORMAT = 1
+
+#: Shards slower than this multiple of the median shard get an anomaly note.
+_SLOW_SHARD_FACTOR = 4.0
+
+
+@dataclass
+class CampaignReport:
+    """Structured outcome of one campaign run (see the module docstring).
+
+    ``shards`` holds one record per shard, in grid order::
+
+        {"index": int, "shard_id": str, "role": "holdout"|"blind",
+         "status": "done"|"pending", "resumed": bool, "executor": str,
+         "duration_seconds": float, "worker_jobs": int,
+         "jobs": [{"config_hash", "experiment", "quick", "status",
+                   "error", "cached", "duration_seconds"}, ...]}
+
+    ``pending`` shards (no checkpoint yet -- only produced by
+    :meth:`Campaign.collect` on an interrupted campaign) carry their job
+    hashes but no outcomes.
+    """
+
+    campaign_id: str
+    name: str
+    shard_size: int
+    holdout: int
+    holdout_passed: bool
+    shards: List[Dict[str, Any]]
+    version: str = ""
+    store_root: Optional[str] = None
+    extra_anomalies: List[str] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # Derived views
+    # ------------------------------------------------------------------
+    def summary(self) -> Dict[str, Any]:
+        """Campaign-level summary statistics (deterministic fields only)."""
+        jobs = [job for shard in self.shards for job in shard["jobs"]]
+        experiments: Dict[str, int] = {}
+        for job in jobs:
+            name = str(job.get("experiment", "?"))
+            experiments[name] = experiments.get(name, 0) + 1
+        return {
+            "shards": len(self.shards),
+            "holdout_shards": self.holdout,
+            "pending_shards": sum(1 for s in self.shards if s["status"] != "done"),
+            "jobs": len(jobs),
+            "ok": sum(1 for j in jobs if j.get("status") == "ok"),
+            "failed": sum(1 for j in jobs if j.get("status") == "failed"),
+            "experiments": dict(sorted(experiments.items())),
+        }
+
+    def failed_points(self) -> List[Dict[str, Any]]:
+        """Inventory of every recorded failed design point, in grid order."""
+        inventory = []
+        for shard in self.shards:
+            for job in shard["jobs"]:
+                if job.get("status") == "failed":
+                    inventory.append(
+                        {
+                            "shard_index": shard["index"],
+                            "shard_id": shard["shard_id"],
+                            "config_hash": job.get("config_hash"),
+                            "experiment": job.get("experiment"),
+                            "error": job.get("error"),
+                        }
+                    )
+        return inventory
+
+    def anomalies(self) -> List[str]:
+        """Deterministic anomaly notes (reproducible across resumed runs)."""
+        notes: List[str] = []
+        summary = self.summary()
+        if summary["failed"]:
+            notes.append(
+                f"{summary['failed']} failed design point(s) recorded; "
+                "see failed_points"
+            )
+        if summary["pending_shards"]:
+            notes.append(
+                f"{summary['pending_shards']} shard(s) have no checkpoint yet "
+                "(campaign incomplete; resume to finish)"
+            )
+        if not self.holdout_passed:
+            notes.append(
+                "held-out validation has not passed; the full result set "
+                "remains blind"
+            )
+        seen: Dict[str, int] = {}
+        for shard in self.shards:
+            for digest in (j.get("config_hash") for j in shard["jobs"]):
+                seen[digest] = seen.get(digest, 0) + 1
+        duplicates = sorted(d for d, n in seen.items() if n > 1)
+        if duplicates:
+            notes.append(
+                f"{len(duplicates)} design point(s) appear more than once in "
+                f"the grid: {', '.join(duplicates[:5])}"
+                + ("..." if len(duplicates) > 5 else "")
+            )
+        notes.extend(self.extra_anomalies)
+        return notes
+
+    def timing(self) -> Dict[str, Any]:
+        """Timing provenance (excluded from :meth:`result_set` by design)."""
+        done = [s for s in self.shards if s["status"] == "done"]
+        durations = sorted(s.get("duration_seconds", 0.0) for s in done)
+        total = sum(durations)
+        notes: List[str] = []
+        if durations:
+            median = durations[len(durations) // 2]
+            if median > 0:
+                for shard in done:
+                    seconds = shard.get("duration_seconds", 0.0)
+                    if seconds > _SLOW_SHARD_FACTOR * median:
+                        notes.append(
+                            f"shard {shard['index']} [{shard['shard_id']}] took "
+                            f"{seconds:.3f}s ({seconds / median:.1f}x the median "
+                            f"shard)"
+                        )
+        return {
+            "total_seconds": round(total, 6),
+            "computed_shards": sum(1 for s in done if not s.get("resumed")),
+            "resumed_shards": sum(1 for s in done if s.get("resumed")),
+            "notes": notes,
+        }
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """The full versioned JSON form (summary, provenance, anomalies)."""
+        return {
+            "report_format": REPORT_FORMAT,
+            "campaign": {
+                "id": self.campaign_id,
+                "name": self.name,
+                "shard_size": self.shard_size,
+                "holdout_shards": self.holdout,
+                "version": self.version,
+                "store_root": self.store_root,
+            },
+            "summary": self.summary(),
+            "holdout_passed": self.holdout_passed,
+            "shards": [dict(shard) for shard in self.shards],
+            "failed_points": self.failed_points(),
+            "anomalies": self.anomalies(),
+            "timing": self.timing(),
+        }
+
+    def result_set(self) -> Dict[str, Any]:
+        """The deterministic projection of :meth:`to_dict`.
+
+        Strips every run-dependent field (durations, worker counts,
+        ``resumed``/``cached`` flags, package version, store location), so
+        two runs over the same grid -- one uninterrupted, one interrupted
+        and resumed -- serialize byte-identically.
+        """
+        shards = [
+            {
+                "index": shard["index"],
+                "shard_id": shard["shard_id"],
+                "role": shard["role"],
+                "status": shard["status"],
+                "jobs": [
+                    {
+                        "config_hash": job.get("config_hash"),
+                        "experiment": job.get("experiment"),
+                        "quick": job.get("quick", False),
+                        "status": job.get("status"),
+                        "error": job.get("error"),
+                    }
+                    for job in shard["jobs"]
+                ],
+            }
+            for shard in self.shards
+        ]
+        return {
+            "report_format": REPORT_FORMAT,
+            "campaign": {
+                "id": self.campaign_id,
+                "name": self.name,
+                "shard_size": self.shard_size,
+                "holdout_shards": self.holdout,
+            },
+            "summary": self.summary(),
+            "holdout_passed": self.holdout_passed,
+            "shards": shards,
+            "failed_points": self.failed_points(),
+            "anomalies": self.anomalies(),
+        }
+
+    def to_json(self, *, indent: Optional[int] = 2) -> str:
+        """JSON rendering of :meth:`to_dict`."""
+        return json.dumps(self.to_dict(), indent=indent, cls=ResultEncoder)
+
+    # ------------------------------------------------------------------
+    # Human-readable rendering
+    # ------------------------------------------------------------------
+    def render(self) -> str:
+        """The human-readable campaign report."""
+        summary = self.summary()
+        timing = self.timing()
+        parts = [
+            format_title(f"Campaign report -- {self.name} [{self.campaign_id}]"),
+            format_key_values(
+                {
+                    "shards": summary["shards"],
+                    "held-out shards": summary["holdout_shards"],
+                    "design points": summary["jobs"],
+                    "ok": summary["ok"],
+                    "failed": summary["failed"],
+                    "resumed shards": timing["resumed_shards"],
+                    "computed shards": timing["computed_shards"],
+                    "total seconds": timing["total_seconds"],
+                    "held-out validation": "passed" if self.holdout_passed else "BLIND",
+                }
+            ),
+            "",
+            format_table(
+                [
+                    {
+                        "shard": shard["index"],
+                        "id": shard["shard_id"],
+                        "role": shard["role"],
+                        "status": shard["status"],
+                        "jobs": len(shard["jobs"]),
+                        "failed": sum(
+                            1 for j in shard["jobs"] if j.get("status") == "failed"
+                        ),
+                        "resumed": bool(shard.get("resumed")),
+                        "seconds": round(shard.get("duration_seconds", 0.0), 3),
+                    }
+                    for shard in self.shards
+                ]
+            ),
+        ]
+        failed = self.failed_points()
+        if failed:
+            parts += [
+                "",
+                "Failed design points:",
+                format_table(
+                    [
+                        {
+                            "shard": point["shard_index"],
+                            "config hash": point["config_hash"],
+                            "experiment": point["experiment"],
+                            "error": point["error"],
+                        }
+                        for point in failed
+                    ]
+                ),
+            ]
+        anomalies = self.anomalies() + self.timing()["notes"]
+        if anomalies:
+            parts += ["", "Anomalies:"] + [f"  - {note}" for note in anomalies]
+        return "\n".join(parts)

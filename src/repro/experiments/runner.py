@@ -19,6 +19,15 @@ plus the analysis-service surface (:mod:`repro.service`)::
     repro-experiments fetch [HASH...] [--json F] [--csv F]
     repro-experiments cache stats|clear [--store-dir DIR]
 
+and the campaign surface (:mod:`repro.campaign` -- sharded, resumable,
+blind-validated sweeps)::
+
+    repro-experiments campaign run [NAMES... | --experiment NAME --sizes ...]
+                          [--name TEXT] [--shard-size N] [--holdout N]
+                          [--jobs N] [--store-dir DIR] [--fresh] [--json F]
+    repro-experiments campaign resume ID [--jobs N] [--store-dir DIR] [--json F]
+    repro-experiments campaign report ID [--store-dir DIR] [--json F]
+
 ``--backend`` selects the simulation backend (``cycle`` or ``event``) for
 the experiments that drive the cycle-accurate simulator; both backends
 produce identical results, ``event`` skips idle cycles and is much faster.
@@ -58,7 +67,8 @@ from ..sim import available_backends, normalize_backend_name
 __all__ = ["EXPERIMENTS", "main", "run_experiment"]
 
 _SUBCOMMANDS = (
-    "run", "list", "sweep", "export", "serve", "submit", "status", "fetch", "cache"
+    "run", "list", "sweep", "export", "serve", "submit", "status", "fetch",
+    "cache", "campaign",
 )
 
 
@@ -421,6 +431,99 @@ def _build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="machine-readable stats"
     )
 
+    campaign_parser = subparsers.add_parser(
+        "campaign",
+        help="sharded, resumable, blind-validated sweeps (repro.campaign)",
+    )
+    campaign_sub = campaign_parser.add_subparsers(dest="action", required=True)
+
+    campaign_run = campaign_sub.add_parser(
+        "run", help="start (or resume) a campaign over experiments or a sweep"
+    )
+    campaign_run.add_argument(
+        "experiments", nargs="*", metavar="NAME",
+        help="experiments to campaign over (or use --experiment with axes)",
+    )
+    campaign_run.add_argument(
+        "--experiment", default=None, metavar="NAME",
+        help="experiment to sweep when axis options are given (default: table2)",
+    )
+    campaign_run.add_argument(
+        "--sizes", type=_csv_ints, default=None, metavar="N,N,...",
+        help="mesh sizes to sweep, e.g. 2,3,4",
+    )
+    campaign_run.add_argument(
+        "--packet-flits", type=_csv_ints, default=None, metavar="N,N,...",
+        help="maximum packet sizes to sweep, e.g. 1,4,8",
+    )
+    campaign_run.add_argument(
+        "--fault-rates", type=_csv_floats, default=None, metavar="R,R,...",
+        help="per-link fault rates to sweep (reliability_sweep)",
+    )
+    campaign_run.add_argument(
+        "--trials", type=int, default=None, metavar="N",
+        help="Monte-Carlo trials per design point (reliability_sweep)",
+    )
+    campaign_run.add_argument(
+        "--quick", action="store_true",
+        help="apply each experiment's quick parameters",
+    )
+    campaign_run.add_argument(
+        "--name", default="campaign", metavar="TEXT",
+        help="campaign name folded into the campaign ID (default: campaign)",
+    )
+    campaign_run.add_argument(
+        "--shard-size", type=int, default=4, metavar="N",
+        help="maximum design points per shard (default: 4)",
+    )
+    campaign_run.add_argument(
+        "--holdout", type=int, default=1, metavar="N",
+        help="held-out shards blind-validated before unblinding (default: 1)",
+    )
+    campaign_run.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes per shard (default: 1)",
+    )
+    campaign_run.add_argument(
+        "--fresh", action="store_true",
+        help="ignore existing checkpoints and recompute every shard",
+    )
+    _add_backend_option(campaign_run)
+    _add_analysis_option(campaign_run)
+    _add_store_option(campaign_run)
+    campaign_run.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="write the full campaign report as JSON to PATH ('-' for stdout)",
+    )
+
+    campaign_resume = campaign_sub.add_parser(
+        "resume", help="resume an interrupted campaign from its checkpoints"
+    )
+    campaign_resume.add_argument(
+        "id", metavar="ID", help="campaign ID printed by 'campaign run'"
+    )
+    campaign_resume.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes per shard (default: 1)",
+    )
+    _add_store_option(campaign_resume)
+    campaign_resume.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="write the full campaign report as JSON to PATH ('-' for stdout)",
+    )
+
+    campaign_report = campaign_sub.add_parser(
+        "report", help="report a campaign's checkpoint state without executing"
+    )
+    campaign_report.add_argument(
+        "id", metavar="ID", help="campaign ID printed by 'campaign run'"
+    )
+    _add_store_option(campaign_report)
+    campaign_report.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="write the full campaign report as JSON to PATH ('-' for stdout)",
+    )
+
     return parser
 
 
@@ -445,6 +548,14 @@ def _exports_use_stdout(args: argparse.Namespace) -> bool:
 
 
 def _print_report(result: BatchResult) -> None:
+    if not result.ok:
+        # A captured worker failure: there is no payload to render.
+        print(
+            f"{result.job.experiment} [{result.config_hash}] failed: "
+            f"{result.error}\n",
+            file=sys.stderr,
+        )
+        return
     if result.result.from_cache:
         # Rebuilt from the JSON cache: the native payload (and with it the
         # exact paper-style rendering) is gone, render the rows directly.
@@ -509,7 +620,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         for result in results:
             _print_report(result)
     _write_exports(results, args)
-    return 0
+    return 1 if any(not result.ok for result in results) else 0
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
@@ -895,6 +1006,91 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+# ----------------------------------------------------------------------
+# Campaign subcommands (repro.campaign)
+# ----------------------------------------------------------------------
+def _emit_campaign_report(report, args: argparse.Namespace) -> None:
+    if args.json is not None:
+        payload = report.to_json()
+        if args.json == "-":
+            print(payload)
+        else:
+            with open(args.json, "w", encoding="utf-8") as handle:
+                handle.write(payload + "\n")
+            print(f"wrote campaign report to {args.json}", file=sys.stderr)
+    if args.json != "-":
+        print(report.render())
+
+
+def _execute_campaign(campaign, args: argparse.Namespace, *, resume: bool) -> int:
+    from ..campaign import CampaignError, HoldoutViolation
+
+    def _progress(shard, record) -> None:
+        source = "resumed from store" if record.get("resumed") else "computed"
+        print(f"{shard.describe()}: {source}", file=sys.stderr)
+
+    try:
+        report = campaign.run(resume=resume, progress=_progress)
+    except HoldoutViolation as error:
+        print(str(error), file=sys.stderr)
+        print(
+            "no blind shard was computed; fix the held-out failures and "
+            "rerun with 'campaign resume'",
+            file=sys.stderr,
+        )
+        return 3
+    except CampaignError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    _emit_campaign_report(report, args)
+    return 0
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from ..campaign import Campaign, CampaignError
+    from ..service import ResultStore, StoreError
+
+    try:
+        store = ResultStore(args.store_dir)
+    except StoreError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+
+    if args.action == "run":
+        jobs = _build_submit_jobs(args)
+        if jobs is None:
+            return 2
+        try:
+            campaign = Campaign(
+                jobs,
+                name=args.name,
+                shard_size=args.shard_size,
+                holdout=args.holdout,
+                store=store,
+                engine_jobs=args.jobs,
+            )
+        except CampaignError as error:
+            print(str(error), file=sys.stderr)
+            return 2
+        print(campaign.describe(), file=sys.stderr)
+        return _execute_campaign(campaign, args, resume=not args.fresh)
+
+    try:
+        campaign = Campaign.load(
+            args.id, store=store, engine_jobs=getattr(args, "jobs", 1)
+        )
+    except CampaignError as error:
+        print(str(error), file=sys.stderr)
+        saved = Campaign.saved_campaigns(store)
+        if saved:
+            print(f"saved campaigns: {', '.join(saved)}", file=sys.stderr)
+        return 2
+    if args.action == "report":
+        _emit_campaign_report(campaign.collect(), args)
+        return 0
+    return _execute_campaign(campaign, args, resume=True)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     parser = _build_parser()
@@ -909,6 +1105,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "status": _cmd_status,
         "fetch": _cmd_fetch,
         "cache": _cmd_cache,
+        "campaign": _cmd_campaign,
     }
     return handlers[args.command](args)
 

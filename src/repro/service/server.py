@@ -37,7 +37,7 @@ import threading
 import time
 from typing import Any, Dict, List, Optional, Tuple
 
-from ..api.engine import BatchJob, config_hash, map_jobs, _execute_job
+from ..api.engine import BatchJob, config_hash, map_jobs, safe_execute_job
 from ..api.results import ExperimentResult
 from .protocol import (
     DEFAULT_HOST,
@@ -54,22 +54,14 @@ from .store import ResultStore
 __all__ = ["ReproService", "ServiceHandle", "start_service_thread"]
 
 
-def _safe_execute(job: BatchJob) -> Tuple[str, Any, float]:
-    """Pool-worker entry point: run one job, never raise.
-
-    Returns ``("ok", result, seconds)`` or ``("error", description, 0.0)``
-    so one failing design point cannot poison a whole batch.
-    """
-    try:
-        result, duration = _execute_job(job)
-        return ("ok", result, duration)
-    except Exception as exc:  # noqa: BLE001 - reported to the client verbatim
-        return ("error", f"{type(exc).__name__}: {exc}", 0.0)
-
-
 def _run_batch(jobs: List[BatchJob], workers: int) -> List[Tuple[str, Any, float]]:
-    """Execute one drained batch on the shared worker pool."""
-    return map_jobs(_safe_execute, jobs, jobs=min(workers, len(jobs)))
+    """Execute one drained batch on the shared worker pool.
+
+    Each job runs through :func:`repro.api.engine.safe_execute_job`, so one
+    failing design point becomes a recorded failure instead of poisoning the
+    whole batch.
+    """
+    return map_jobs(safe_execute_job, jobs, jobs=min(workers, len(jobs)))
 
 
 class _Entry:

@@ -116,7 +116,9 @@ class ResultStore:
         return dict(envelope["meta"])
 
     def __contains__(self, digest: str) -> bool:
-        return os.path.exists(self._path(digest)) and self._read(digest) is not None
+        # A single _read answers both "does the file exist" (OSError reads
+        # as None) and "is it a complete entry" -- no extra stat() probe.
+        return self._read(digest) is not None
 
     def keys(self) -> List[str]:
         """Every digest with a readable entry, sorted."""
@@ -224,12 +226,24 @@ class ResultStore:
     # Introspection
     # ------------------------------------------------------------------
     def stats(self) -> Dict[str, Any]:
-        """Store-wide statistics plus this instance's lookup counters."""
+        """Store-wide statistics plus this instance's lookup counters.
+
+        One pass over the directory: each entry is read and parsed exactly
+        once (``keys()`` would already cost a full ``_read`` per file, so
+        going through it would parse everything twice).
+        """
         entries = 0
         total_bytes = 0
         by_experiment: Dict[str, int] = {}
         compute_seconds = 0.0
-        for digest in self.keys():
+        try:
+            names = sorted(os.listdir(self.root))
+        except OSError:
+            names = []
+        for filename in names:
+            if not filename.endswith(_SUFFIX) or filename.startswith("."):
+                continue
+            digest = filename[: -len(_SUFFIX)]
             envelope = self._read(digest)
             if envelope is None:
                 continue
@@ -238,8 +252,8 @@ class ResultStore:
                 total_bytes += os.path.getsize(self._path(digest))
             except OSError:
                 pass
-            name = str(envelope["result"].get("experiment", "?"))
-            by_experiment[name] = by_experiment.get(name, 0) + 1
+            experiment = str(envelope["result"].get("experiment", "?"))
+            by_experiment[experiment] = by_experiment.get(experiment, 0) + 1
             compute_seconds += float(envelope["meta"].get("duration_seconds", 0.0) or 0.0)
         lookups = self.hits + self.misses
         return {

@@ -198,3 +198,62 @@ class TestCLI:
         assert "Table I" in run_experiment("table1", quick=True)
         with pytest.raises(KeyError):
             run_experiment("table42")
+
+
+class TestDiskHitPromotion:
+    def test_disk_hit_promoted_to_memory_cache(self, tmp_path):
+        # Regression: a disk-store hit must populate the memory cache, so
+        # repeated lookups of the same digest stop re-reading the file --
+        # observable as the store's hit counter staying flat.
+        root = str(tmp_path / "cache")
+        BatchEngine(cache_dir=root).run(BatchJob("table1"))
+
+        engine = BatchEngine(cache_dir=root)
+        first = engine.run(BatchJob("table1"))
+        assert first.cached
+        assert engine.store.hits == 1
+
+        second = engine.run(BatchJob("table1"))
+        assert second.cached
+        assert engine.store.hits == 1  # served from memory, not the disk
+        assert second.result is first.result
+
+
+class TestFailureCapture:
+    BAD = BatchJob("scenario_wctt", {"scenario": {"mesh_width": 2, "design": "nope"}})
+
+    def test_failed_job_becomes_recorded_outcome(self):
+        result = BatchEngine(use_cache=False).run(self.BAD)
+        assert not result.ok
+        assert "ScenarioError" in result.error
+        assert result.result.rows() == []
+        assert result.result.description.startswith("failed:")
+
+    def test_failed_job_does_not_poison_its_siblings(self):
+        jobs = [BatchJob("table1"), self.BAD, BatchJob("table2", {"sizes": (2,)})]
+        results = BatchEngine(use_cache=False).run_many(jobs)
+        assert [r.ok for r in results] == [True, False, True]
+        assert results[0].result.rows() and results[2].result.rows()
+
+    def test_failed_job_does_not_poison_the_worker_pool(self):
+        # Same invariant through the multiprocessing fan-out: the captured
+        # failure travels back as data, not as a pool-wide exception.
+        jobs = [BatchJob("table1"), self.BAD, BatchJob("table2", {"sizes": (2,)})]
+        results = BatchEngine(jobs=3, use_cache=False).run_many(jobs)
+        assert [r.ok for r in results] == [True, False, True]
+        assert "ScenarioError" in results[1].error
+
+    def test_failures_are_never_cached(self, tmp_path):
+        engine = BatchEngine(cache_dir=str(tmp_path / "cache"))
+        first = engine.run(self.BAD)
+        second = engine.run(self.BAD)
+        assert not first.ok and not second.ok
+        assert not second.cached  # recomputed, not served from any cache
+        assert engine.store.writes == 0
+
+    def test_error_round_trips_through_to_dict(self):
+        result = BatchEngine(use_cache=False).run(self.BAD)
+        data = result.to_dict()
+        assert "ScenarioError" in data["error"]
+        ok = BatchEngine(use_cache=False).run(BatchJob("table1"))
+        assert "error" not in ok.to_dict()

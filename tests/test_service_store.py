@@ -246,3 +246,55 @@ class TestEngineIntegration:
         monkeypatch.setattr(repro, "__version__", "0.0.0.dev-test")
         after = config_hash(job)
         assert before != after
+
+
+class TestSingleReadPaths:
+    """Regressions for the double-parse bugs in stats() and __contains__."""
+
+    def _counting_read(self, store, monkeypatch):
+        calls = []
+        original = store._read
+
+        def counted(digest):
+            calls.append(digest)
+            return original(digest)
+
+        monkeypatch.setattr(store, "_read", counted)
+        return calls
+
+    def test_stats_parses_each_entry_exactly_once(self, tmp_path, monkeypatch):
+        store = ResultStore(str(tmp_path))
+        digests = ["ab12cd34ef56ab78", "0123456789abcdef", "feedfacefeedface"]
+        for digest in digests:
+            store.put(digest, make_result())
+        calls = self._counting_read(store, monkeypatch)
+        stats = store.stats()
+        assert stats["entries"] == 3
+        assert sorted(calls) == sorted(digests)
+
+    def test_stats_values_unchanged_by_restructuring(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        store.put(DIGEST, make_result("table1"), duration_seconds=1.5)
+        store.put("0123456789abcdef", make_result("table2"), duration_seconds=0.5)
+        # Unreadable garbage must be skipped, not counted.
+        with open(os.path.join(store.root, "deadbeefdeadbeef.json"), "w") as handle:
+            handle.write("{torn")
+        stats = store.stats()
+        assert stats["entries"] == 2
+        assert stats["by_experiment"] == {"table1": 1, "table2": 1}
+        assert stats["saved_compute_seconds"] == 2.0
+        assert stats["total_bytes"] > 0
+
+    def test_contains_probes_the_file_once(self, tmp_path, monkeypatch):
+        store = ResultStore(str(tmp_path))
+        store.put(DIGEST, make_result())
+        calls = self._counting_read(store, monkeypatch)
+        assert DIGEST in store
+        assert calls == [DIGEST]
+
+    def test_contains_treats_torn_files_as_absent(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        with open(os.path.join(store.root, f"{DIGEST}.json"), "w") as handle:
+            handle.write("{torn")
+        assert DIGEST not in store
+        assert "0123456789abcdef" not in store

@@ -11,25 +11,49 @@ Usage::
 
     PYTHONPATH=src python tools/make_golden.py [NAME ...]
 
-With no arguments every registered experiment is regenerated.
+With no arguments every registered experiment is regenerated, plus the
+campaign-report golden pinned by ``tests/test_campaign.py``
+(``tests/golden/campaign/report.json``); pass the pseudo-name ``campaign``
+to regenerate only that one.
 """
 
 from __future__ import annotations
 
+import json
 import os
 import sys
+import tempfile
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
 GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "..", "tests", "golden")
+TESTS_DIR = os.path.join(os.path.dirname(__file__), "..", "tests")
+
+
+def write_campaign_golden() -> None:
+    """Regenerate the campaign-report golden (version-pinned, see the test)."""
+    sys.path.insert(0, TESTS_DIR)
+    from test_campaign import build_campaign_golden
+
+    with tempfile.TemporaryDirectory() as store_root:
+        payload = build_campaign_golden(store_root)
+    path = os.path.join(GOLDEN_DIR, "campaign", "report.json")
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {os.path.relpath(path)}")
 
 
 def main(argv) -> int:
     from repro.api import get_experiment, list_experiments
 
-    names = argv or [spec.name for spec in list_experiments()]
+    names = argv or [spec.name for spec in list_experiments()] + ["campaign"]
     os.makedirs(GOLDEN_DIR, exist_ok=True)
     for name in names:
+        if name == "campaign":
+            write_campaign_golden()
+            continue
         spec = get_experiment(name)
         result = spec.run(quick=True)
         path = os.path.join(GOLDEN_DIR, f"{name}.json")
